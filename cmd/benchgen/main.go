@@ -1,0 +1,65 @@
+// Command benchgen writes the synthetic benchmark suites to disk as layout
+// files (and optional preview PNGs):
+//
+//	benchgen -suite m1 -out testdata/m1       # cases 1-10
+//	benchgen -suite ext -out testdata/ext     # cases 11-20
+//	benchgen -suite via -count 15 -out testdata/via
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+	"repro/internal/imgio"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	n := flag.Int("n", 512, "grid size (power of two)")
+	field := flag.Float64("field", 2048, "physical field size in nm")
+	suite := flag.String("suite", "m1", "suite: m1 | ext | via")
+	count := flag.Int("count", 15, "number of via cases (via suite only)")
+	out := flag.String("out", "testdata", "output directory")
+	png := flag.Bool("png", true, "also write preview PNGs")
+	flag.Parse()
+
+	var cases []bench.Case
+	var err error
+	switch *suite {
+	case "m1":
+		cases, err = bench.M1Suite(*n, *field)
+	case "ext":
+		cases, err = bench.ExtendedSuite(*n, *field)
+	case "via":
+		cases, err = bench.ViaSuite(*n, *field, *count)
+	default:
+		return fmt.Errorf("unknown suite %q", *suite)
+	}
+	if err != nil {
+		return err
+	}
+
+	for _, c := range cases {
+		path := filepath.Join(*out, c.Name+".glp")
+		if err := c.Layout.Save(path); err != nil {
+			return err
+		}
+		if *png {
+			if err := imgio.WritePNG(filepath.Join(*out, c.Name+".png"), c.Target); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("%s: %d shapes, %.0f nm² (paper target %.0f nm²) → %s\n",
+			c.Name, c.Layout.ShapeCount(), c.AreaNM2, c.PaperAreaNM2, path)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+// Command mltables regenerates the paper's tables and figures on the
+// synthetic benchmark suites. It is the experiment driver behind
+// EXPERIMENTS.md:
+//
+//	mltables                  # every experiment at the default harness scale
+//	mltables -exp table2,fig4 # a subset
+//	mltables -n 2048 -iterdiv 1 -out artifacts/  # paper scale (hours on CPU)
+//
+// Each experiment prints an aligned table; -out additionally writes CSV and
+// PNG artifacts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mltables:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := experiments.Harness()
+	n := flag.Int("n", cfg.N, "simulation grid size (power of two)")
+	field := flag.Float64("field", cfg.FieldNM, "physical field size in nm")
+	kernels := flag.Int("kernels", cfg.Kernels, "number of SOCS kernels N_k")
+	iterdiv := flag.Int("iterdiv", cfg.IterDiv, "divide every recipe's iteration budget by this")
+	baselines := flag.Bool("baselines", cfg.WithBaselines, "also measure the reimplemented baselines (slow)")
+	out := flag.String("out", "", "directory for CSV/PNG artifacts (empty = none)")
+	exp := flag.String("exp", "all", "comma-separated experiments, or 'all': "+strings.Join(experiments.Names, ","))
+	verbose := flag.Bool("v", false, "log per-case progress to stderr")
+	flag.Parse()
+
+	cfg.N = *n
+	cfg.FieldNM = *field
+	cfg.Kernels = *kernels
+	cfg.IterDiv = *iterdiv
+	cfg.WithBaselines = *baselines
+	cfg.OutDir = *out
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	names := experiments.Names
+	if *exp != "all" {
+		names = strings.Split(*exp, ",")
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		t, err := experiments.Run(cfg, name)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println(t.String())
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+// Kernel generation walkthrough: build the SOCS decomposition from the
+// partial-coherence model, inspect the eigenvalue spectrum and the energy
+// captured by the truncated expansion, and dump kernel images.
+//
+//	go run ./examples/kernelgen
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/fft"
+	"repro/internal/grid"
+	"repro/internal/imgio"
+	"repro/internal/optics"
+)
+
+func main() {
+	oc := optics.TestScale()
+	oc.NumKernels = 12
+
+	fmt.Printf("optical column: λ=%g nm, NA=%g, annular σ ∈ [%g, %g], field %g nm → P=%d\n",
+		oc.WavelengthNM, oc.NA, oc.SigmaIn, oc.SigmaOut, oc.FieldNM, oc.P())
+
+	src := optics.DiscretizeSource(oc)
+	fmt.Printf("source discretisation: %d points\n", len(src))
+
+	captured, trace, err := optics.EnergyCapture(oc, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TCC trace %.4f, captured by %d kernels: %.4f (%.1f%%)\n",
+		trace, oc.NumKernels, captured, 100*captured/trace)
+
+	model, err := optics.BuildModel(oc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("eigenvalue spectrum (nominal focus, open-frame normalized):")
+	for k, w := range model.Nominal.Weights {
+		bar := ""
+		for i := 0; i < int(80*w/model.Nominal.Weights[0]); i++ {
+			bar += "#"
+		}
+		fmt.Printf("  w[%2d] = %10.6f %s\n", k, w, bar)
+	}
+
+	// Render the first kernels in the spatial domain: embed the P×P
+	// spectrum in a 64×64 grid, inverse FFT, save |h_k|.
+	plan, err := fft.NewPlan2(64, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for k := 0; k < 4 && k < len(model.Nominal.Kernels); k++ {
+		spec := fft.EmbedCentered(shiftToCorner(model.Nominal.Kernels[k]), 64)
+		plan.Inverse(spec)
+		img := fft.Shift(spec).AbsSq()
+		img.Apply(math.Sqrt)
+		if _, max := img.MinMax(); max > 0 {
+			img.Scale(1 / max)
+		}
+		path := fmt.Sprintf("kernel_%d.png", k)
+		if err := imgio.WritePNG(path, img); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}
+
+// shiftToCorner converts a centered P×P kernel to DC-at-zero layout by
+// padding to the next even size and shifting.
+func shiftToCorner(k *grid.CMat) *grid.CMat {
+	n := k.W + 1 // P is odd; use an even grid for fft.Shift round-tripping
+	out := grid.NewCMat(n, n)
+	h := k.W / 2
+	for y := 0; y < k.H; y++ {
+		for x := 0; x < k.W; x++ {
+			fx, fy := x-h, y-h
+			out.Set((fx+n)%n, (fy+n)%n, k.At(x, y))
+		}
+	}
+	return out
+}

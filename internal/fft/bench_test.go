@@ -1,0 +1,65 @@
+package fft
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func benchMatrix(n int) *grid.CMat {
+	rng := rand.New(rand.NewSource(1))
+	m := grid.NewCMat(n, n)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return m
+}
+
+func benchmark2D(b *testing.B, n int) {
+	p, err := NewPlan2(n, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := benchMatrix(n)
+	b.SetBytes(int64(n * n * 16))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(m)
+		p.Inverse(m)
+	}
+}
+
+func BenchmarkFFT2_64(b *testing.B)   { benchmark2D(b, 64) }
+func BenchmarkFFT2_256(b *testing.B)  { benchmark2D(b, 256) }
+func BenchmarkFFT2_1024(b *testing.B) { benchmark2D(b, 1024) }
+
+func BenchmarkFFT1D_4096(b *testing.B) {
+	p, err := NewPlan(4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	x := make([]complex128, 4096)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+		p.Inverse(x)
+	}
+}
+
+func BenchmarkApplyKernel(b *testing.B) {
+	spec := benchMatrix(256)
+	ker := benchMatrix(35)
+	var dst *grid.CMat
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = ApplyKernel(dst, spec, ker, 64, complex(1.0/16, 0))
+	}
+}

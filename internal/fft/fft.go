@@ -1,0 +1,108 @@
+// Package fft implements the fast Fourier transforms used by the Hopkins
+// lithography model: an iterative radix-2 complex FFT with precomputed
+// twiddle factors, 2-D transforms parallelised across rows/columns, and the
+// frequency-domain truncation/embedding helpers behind the paper's Eq. (7).
+//
+// Conventions: the forward transform is unnormalised,
+//
+//	X[k] = Σ_n x[n]·exp(-2πi·kn/N),
+//
+// and the inverse carries the full 1/N (1/(W·H) in 2-D) factor, so
+// Inverse(Forward(x)) == x. With this convention the aerial-image intensity
+// produced by the simulator is invariant under the multi-level resolution
+// changes of Algorithm 1 (see DESIGN.md, "Numerical scheme notes").
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Plan holds the precomputed state for transforms of a fixed power-of-two
+// length: the bit-reversal permutation and per-stage twiddle factors.
+// A Plan is safe for concurrent use; all methods operate on caller-supplied
+// buffers.
+type Plan struct {
+	n       int
+	logN    int
+	rev     []int32
+	twidF   []complex128 // forward twiddles, all stages concatenated
+	twidI   []complex128 // inverse twiddles
+	stageAt []int        // offset of each stage's twiddles
+}
+
+// NewPlan creates a plan for length-n transforms. n must be a power of two
+// and at least 1.
+func NewPlan(n int) (*Plan, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: length %d is not a positive power of two", n)
+	}
+	p := &Plan{n: n, logN: bits.TrailingZeros(uint(n))}
+	p.rev = make([]int32, n)
+	shift := 64 - uint(p.logN)
+	for i := 0; i < n; i++ {
+		p.rev[i] = int32(bits.Reverse64(uint64(i)) >> shift)
+	}
+	// Stage s (s = 1..logN) uses half-block size m = 2^(s-1) twiddles
+	// w^j = exp(∓2πi·j/2^s), j = 0..m-1.
+	total := 0
+	p.stageAt = make([]int, p.logN+1)
+	for s := 1; s <= p.logN; s++ {
+		p.stageAt[s] = total
+		total += 1 << (s - 1)
+	}
+	p.twidF = make([]complex128, total)
+	p.twidI = make([]complex128, total)
+	for s := 1; s <= p.logN; s++ {
+		m := 1 << (s - 1)
+		base := p.stageAt[s]
+		for j := 0; j < m; j++ {
+			ang := -math.Pi * float64(j) / float64(m)
+			p.twidF[base+j] = complex(math.Cos(ang), math.Sin(ang))
+			p.twidI[base+j] = complex(math.Cos(ang), -math.Sin(ang))
+		}
+	}
+	return p, nil
+}
+
+// N returns the transform length of the plan.
+func (p *Plan) N() int { return p.n }
+
+// Forward computes the in-place unnormalised DFT of x. len(x) must equal N.
+func (p *Plan) Forward(x []complex128) { p.transform(x, p.twidF, false) }
+
+// Inverse computes the in-place inverse DFT of x, including the 1/N factor.
+func (p *Plan) Inverse(x []complex128) { p.transform(x, p.twidI, true) }
+
+func (p *Plan) transform(x []complex128, twid []complex128, normalize bool) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("fft: buffer length %d != plan length %d", len(x), p.n))
+	}
+	// Bit-reversal permutation.
+	for i, r := range p.rev {
+		if int32(i) < r {
+			x[i], x[r] = x[r], x[i]
+		}
+	}
+	// Iterative Cooley-Tukey butterflies.
+	for s := 1; s <= p.logN; s++ {
+		m := 1 << (s - 1) // half block
+		blk := m << 1
+		tw := twid[p.stageAt[s] : p.stageAt[s]+m]
+		for k := 0; k < p.n; k += blk {
+			for j := 0; j < m; j++ {
+				t := tw[j] * x[k+j+m]
+				u := x[k+j]
+				x[k+j] = u + t
+				x[k+j+m] = u - t
+			}
+		}
+	}
+	if normalize {
+		inv := complex(1/float64(p.n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package fft
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/grid"
+)
+
+// Plan2 performs 2-D transforms on W×H complex matrices whose dimensions are
+// powers of two. Row and column passes are parallelised across
+// runtime.GOMAXPROCS workers. A Plan2 is safe for concurrent use.
+type Plan2 struct {
+	w, h       int
+	rowP, colP *Plan
+}
+
+// NewPlan2 creates a 2-D plan for w×h matrices.
+func NewPlan2(w, h int) (*Plan2, error) {
+	rp, err := NewPlan(w)
+	if err != nil {
+		return nil, fmt.Errorf("fft: row plan: %w", err)
+	}
+	cp := rp
+	if h != w {
+		cp, err = NewPlan(h)
+		if err != nil {
+			return nil, fmt.Errorf("fft: column plan: %w", err)
+		}
+	}
+	return &Plan2{w: w, h: h, rowP: rp, colP: cp}, nil
+}
+
+// W returns the plan width.
+func (p *Plan2) W() int { return p.w }
+
+// H returns the plan height.
+func (p *Plan2) H() int { return p.h }
+
+// Forward computes the in-place unnormalised 2-D DFT of m.
+func (p *Plan2) Forward(m *grid.CMat) { p.transform(m, false) }
+
+// Inverse computes the in-place inverse 2-D DFT of m (with 1/(W·H) factor).
+func (p *Plan2) Inverse(m *grid.CMat) { p.transform(m, true) }
+
+func (p *Plan2) transform(m *grid.CMat, inverse bool) {
+	if m.W != p.w || m.H != p.h {
+		panic(fmt.Sprintf("fft: matrix %dx%d does not match plan %dx%d", m.W, m.H, p.w, p.h))
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > p.h {
+		workers = p.h
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Row pass. The forward/inverse split keeps normalisation in one place:
+	// the inverse row pass applies 1/W, the inverse column pass 1/H.
+	grid.ParallelFor(workers, p.h, func(y int) {
+		row := m.Data[y*p.w : (y+1)*p.w]
+		if inverse {
+			p.rowP.Inverse(row)
+		} else {
+			p.rowP.Forward(row)
+		}
+	})
+
+	// Column pass: gather each column into a scratch buffer, transform,
+	// scatter back. Scratch buffers are per-worker.
+	var pool = sync.Pool{New: func() any { return make([]complex128, p.h) }}
+	grid.ParallelFor(workers, p.w, func(x int) {
+		buf := pool.Get().([]complex128)
+		for y := 0; y < p.h; y++ {
+			buf[y] = m.Data[y*p.w+x]
+		}
+		if inverse {
+			p.colP.Inverse(buf)
+		} else {
+			p.colP.Forward(buf)
+		}
+		for y := 0; y < p.h; y++ {
+			m.Data[y*p.w+x] = buf[y]
+		}
+		pool.Put(buf)
+	})
+}

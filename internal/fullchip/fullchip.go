@@ -1,0 +1,169 @@
+// Package fullchip scales the multi-level ILT flow beyond single clips: a
+// layout of arbitrary size is partitioned into power-of-two tiles with halo
+// overlap, each tile is optimized independently (the halo absorbs optical
+// cross-talk, whose reach is bounded by the kernel interaction radius), and
+// the optimized mask cores are stitched back together. This is the standard
+// deployment shape of ILT (the paper's DAMO reference [13] targets the same
+// full-chip setting); it also demonstrates that the library composes: the
+// tile loop is embarrassingly parallel when more cores are available.
+package fullchip
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/litho"
+)
+
+// Options configures the tiled flow.
+//
+// Pixel-pitch invariant: a simulation grid of size n over an optics model
+// with field F implies a pixel pitch of F/n. The tiled flow therefore
+// requires an optics model whose FieldNM equals TileSize × (layout pixel
+// pitch) — e.g. 512-px tiles of a 1 nm/px layout need a 512 nm-field model.
+type Options struct {
+	// Process supplies the forward model (shared across tiles). Its
+	// FieldNM must equal TileSize × the layout's pixel pitch.
+	Process *litho.Process
+	// TileSize is the per-tile simulation grid (power of two).
+	TileSize int
+	// Halo is the overlap margin in pixels. It must cover the optical
+	// interaction radius — roughly the spatial support of the widest
+	// kernel — or stitching seams will print. HaloFor picks a safe value.
+	Halo int
+	// Stages is the per-tile multi-level schedule.
+	Stages []core.Stage
+	// Configure, when set, can adjust the per-tile optimizer options
+	// (penalties, learning rate, ...). The Process field is pre-filled.
+	Configure func(*core.Options)
+	// SkipEmpty skips tiles whose target (including halo) is blank; their
+	// mask stays opaque. Defaults to true via New-style helpers; the zero
+	// value runs every tile.
+	SkipEmpty bool
+}
+
+// Result is the stitched outcome.
+type Result struct {
+	// Mask is the stitched optimized mask, same size as the input target.
+	Mask *grid.Mat
+	// TilesTotal and TilesRun count the grid and the non-skipped tiles.
+	TilesTotal, TilesRun int
+	// ILTSeconds is the summed per-tile optimization time.
+	ILTSeconds float64
+}
+
+// HaloFor returns a safe halo for a process at the given pixel pitch: the
+// optical interaction radius  ≈ 1 / (minimum resolvable pitch) is bounded
+// by the kernel support in the frequency domain; its spatial reach is
+// P/(2·Δf·n·pixel)… in practice the contest convention of ~0.5·P pixels of
+// the native grid works; we take the kernel half-support plus margin.
+func HaloFor(p *litho.Process, pixelNM float64) int {
+	// The widest kernel's spatial extent is ≈ FieldNM / P (one frequency-
+	// grid period over the kernel support); cover it with margin.
+	field := p.Sim.Model.Config.FieldNM
+	reach := field / float64(p.Sim.Model.Nominal.P) / pixelNM
+	h := int(reach*1.5) + 8
+	return h
+}
+
+// Optimize runs the tiled flow over a target of arbitrary (not necessarily
+// square or power-of-two) size.
+func Optimize(opt Options, target *grid.Mat) (*Result, error) {
+	if opt.Process == nil {
+		return nil, fmt.Errorf("fullchip: Options.Process is required")
+	}
+	t := opt.TileSize
+	if t < 8 || t&(t-1) != 0 {
+		return nil, fmt.Errorf("fullchip: tile size %d must be a power of two ≥ 8", t)
+	}
+	if opt.Halo < 0 || 2*opt.Halo >= t {
+		return nil, fmt.Errorf("fullchip: halo %d must satisfy 0 ≤ 2·halo < tile %d", opt.Halo, t)
+	}
+	if len(opt.Stages) == 0 {
+		return nil, fmt.Errorf("fullchip: no stages")
+	}
+	coreStep := t - 2*opt.Halo
+	nx := (target.W + coreStep - 1) / coreStep
+	ny := (target.H + coreStep - 1) / coreStep
+
+	out := grid.NewMat(target.W, target.H)
+	res := &Result{Mask: out, TilesTotal: nx * ny}
+	start := time.Now()
+
+	for ty := 0; ty < ny; ty++ {
+		for tx := 0; tx < nx; tx++ {
+			// Tile origin in target coordinates (may be negative: the halo
+			// of border tiles hangs off the layout; those pixels are dark).
+			ox := tx*coreStep - opt.Halo
+			oy := ty*coreStep - opt.Halo
+			tile := extract(target, ox, oy, t)
+			if opt.SkipEmpty && tile.Sum() == 0 {
+				continue
+			}
+			copts := core.DefaultOptions(opt.Process)
+			if opt.Configure != nil {
+				opt.Configure(&copts)
+			}
+			copts.Process = opt.Process
+			o, err := core.New(copts, tile)
+			if err != nil {
+				return nil, fmt.Errorf("fullchip: tile (%d,%d): %w", tx, ty, err)
+			}
+			r, err := o.Run(opt.Stages)
+			if err != nil {
+				return nil, fmt.Errorf("fullchip: tile (%d,%d): %w", tx, ty, err)
+			}
+			res.TilesRun++
+			// Commit the core region (halo discarded).
+			commit(out, r.Mask, ox+opt.Halo, oy+opt.Halo, opt.Halo, coreStep)
+		}
+	}
+	res.ILTSeconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+// extract copies a t×t window with top-left (ox, oy) out of m, zero-padding
+// outside the image.
+func extract(m *grid.Mat, ox, oy, t int) *grid.Mat {
+	out := grid.NewMat(t, t)
+	for y := 0; y < t; y++ {
+		sy := oy + y
+		if sy < 0 || sy >= m.H {
+			continue
+		}
+		x0 := 0
+		if ox < 0 {
+			x0 = -ox
+		}
+		x1 := t
+		if ox+t > m.W {
+			x1 = m.W - ox
+		}
+		if x0 >= x1 {
+			continue
+		}
+		copy(out.Data[y*t+x0:y*t+x1], m.Data[sy*m.W+ox+x0:sy*m.W+ox+x1])
+	}
+	return out
+}
+
+// commit writes the core region of a tile mask (starting at halo offset in
+// tile coordinates, size step×step) into the output at (cx, cy), clipped to
+// the output bounds.
+func commit(out, tileMask *grid.Mat, cx, cy, halo, step int) {
+	for y := 0; y < step; y++ {
+		dy := cy + y
+		if dy < 0 || dy >= out.H {
+			continue
+		}
+		for x := 0; x < step; x++ {
+			dx := cx + x
+			if dx < 0 || dx >= out.W {
+				continue
+			}
+			out.Data[dy*out.W+dx] = tileMask.Data[(halo+y)*tileMask.W+halo+x]
+		}
+	}
+}

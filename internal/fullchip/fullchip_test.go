@@ -1,0 +1,197 @@
+package fullchip
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/litho"
+	"repro/internal/metrics"
+	"repro/internal/optics"
+)
+
+var (
+	procOnce sync.Once
+	procVal  *litho.Process
+)
+
+func process(t testing.TB) *litho.Process {
+	t.Helper()
+	procOnce.Do(func() {
+		m, err := optics.BuildModel(optics.TestScale())
+		if err != nil {
+			panic(err)
+		}
+		procVal = litho.NewProcess(m)
+	})
+	return procVal
+}
+
+func TestExtractZeroPads(t *testing.T) {
+	m := grid.NewMat(10, 8)
+	m.Fill(1)
+	tile := extract(m, -3, -2, 8)
+	// Rows 0..1 and columns 0..2 of the tile hang off the layout.
+	if tile.At(0, 0) != 0 || tile.At(2, 1) != 0 {
+		t.Error("out-of-layout pixels not zero")
+	}
+	if tile.At(3, 2) != 1 {
+		t.Error("in-layout pixel lost")
+	}
+	// Fully outside window is all zero.
+	empty := extract(m, 100, 100, 8)
+	if empty.Sum() != 0 {
+		t.Error("far-outside window not empty")
+	}
+}
+
+func TestCommitClipsToOutput(t *testing.T) {
+	out := grid.NewMat(10, 10)
+	tile := grid.NewMat(8, 8)
+	tile.Fill(1)
+	commit(out, tile, 7, 7, 2, 4) // core extends past the output edge
+	if out.At(9, 9) != 1 {
+		t.Error("in-bounds core pixel not committed")
+	}
+	if out.Sum() != 9 {
+		t.Errorf("committed area %v, want 9 (3x3 clipped)", out.Sum())
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	p := process(t)
+	tgt := grid.NewMat(64, 64)
+	stages := []core.Stage{{Scale: 2, Iters: 1}}
+	cases := []Options{
+		{Process: nil, TileSize: 64, Stages: stages},
+		{Process: p, TileSize: 48, Stages: stages},
+		{Process: p, TileSize: 64, Halo: 32, Stages: stages},
+		{Process: p, TileSize: 64, Halo: -1, Stages: stages},
+		{Process: p, TileSize: 64},
+	}
+	for i, opt := range cases {
+		if _, err := Optimize(opt, tgt); err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+	}
+}
+
+// TestTiledMatchesMonolithicQuality: a non-power-of-two layout is tiled,
+// optimized, stitched, and must print essentially as well as a monolithic
+// run over the enclosing power-of-two grid.
+func TestTiledMatchesMonolithicQuality(t *testing.T) {
+	p := process(t)
+	// 192×160 layout (not square, not a power of two).
+	tgt := grid.NewMat(192, 160)
+	geom.FillRect(tgt, geom.Rect{X0: 30, Y0: 40, X1: 90, Y1: 60}, 1)
+	geom.FillRect(tgt, geom.Rect{X0: 110, Y0: 90, X1: 170, Y1: 110}, 1)
+	geom.FillRect(tgt, geom.Rect{X0: 30, Y0: 100, X1: 80, Y1: 120}, 1)
+
+	stages := []core.Stage{{Scale: 4, Iters: 20}}
+	halo := HaloFor(p, 4) // TestScale at 128-px tiles → 4 nm/px
+	if 2*halo >= 128 {
+		t.Fatalf("halo %d too large for the test tile", halo)
+	}
+	res, err := Optimize(Options{
+		Process: p, TileSize: 128, Halo: halo, Stages: stages, SkipEmpty: true,
+	}, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mask.W != 192 || res.Mask.H != 160 {
+		t.Fatalf("stitched mask size %dx%d", res.Mask.W, res.Mask.H)
+	}
+	if res.TilesRun == 0 || res.TilesRun > res.TilesTotal {
+		t.Fatalf("tile accounting: ran %d of %d", res.TilesRun, res.TilesTotal)
+	}
+
+	// Evaluate by embedding into a 256² frame at the SAME 4 nm pixel pitch,
+	// which requires an optics model with a 1024 nm field (the pitch
+	// invariant documented on Options).
+	evalCfg := optics.TestScale()
+	evalCfg.FieldNM = 1024
+	evalModel, err := optics.BuildModel(evalCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalProc := litho.NewProcess(evalModel)
+	embed := func(m *grid.Mat) *grid.Mat {
+		out := grid.NewMat(256, 256)
+		out.PasteRect(m, 32, 48)
+		return out
+	}
+	embTarget := embed(tgt)
+	embTiled := embed(res.Mask)
+
+	mono, err := core.New(core.DefaultOptions(evalProc), embTarget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monoRes, err := mono.Run(stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tiledRep, err := metrics.Evaluate(evalProc, embTiled, embTarget, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monoRep, err := metrics.Evaluate(evalProc, monoRes.Mask, embTarget, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawRep, err := metrics.Evaluate(evalProc, embTarget, embTarget, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiledRep.L2 >= rawRep.L2 {
+		t.Errorf("tiled flow did not improve over raw mask: %v vs %v", tiledRep.L2, rawRep.L2)
+	}
+	if tiledRep.L2 > 1.5*monoRep.L2+50 {
+		t.Errorf("tiled L2 %v far above monolithic %v — stitching seams?", tiledRep.L2, monoRep.L2)
+	}
+}
+
+func TestSkipEmptyTiles(t *testing.T) {
+	p := process(t)
+	// One feature in the corner of a large sparse layout.
+	tgt := grid.NewMat(256, 256)
+	geom.FillRect(tgt, geom.Rect{X0: 10, Y0: 10, X1: 50, Y1: 30}, 1)
+	res, err := Optimize(Options{
+		Process: p, TileSize: 64, Halo: 12,
+		Stages: []core.Stage{{Scale: 2, Iters: 2}}, SkipEmpty: true,
+	}, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TilesRun >= res.TilesTotal {
+		t.Errorf("no tiles skipped on a sparse layout: %d of %d", res.TilesRun, res.TilesTotal)
+	}
+	// Mask stays dark away from the feature.
+	if res.Mask.At(200, 200) != 0 {
+		t.Error("mask opened in an empty region")
+	}
+}
+
+func TestConfigureHookApplies(t *testing.T) {
+	p := process(t)
+	tgt := grid.NewMat(64, 64)
+	geom.FillRect(tgt, geom.Rect{X0: 20, Y0: 20, X1: 44, Y1: 44}, 1)
+	called := false
+	_, err := Optimize(Options{
+		Process: p, TileSize: 64, Halo: 8,
+		Stages: []core.Stage{{Scale: 2, Iters: 1}},
+		Configure: func(o *core.Options) {
+			called = true
+			o.SmoothWindow = 0
+		},
+	}, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Error("Configure hook never invoked")
+	}
+}

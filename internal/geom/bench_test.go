@@ -1,0 +1,71 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// benchMask is a 512² mask with a few hundred rectangles — the shape and
+// density of a post-ILT mask at harness scale.
+func benchMask() *grid.Mat {
+	rng := rand.New(rand.NewSource(3))
+	m := grid.NewMat(512, 512)
+	for k := 0; k < 300; k++ {
+		x0, y0 := rng.Intn(480), rng.Intn(480)
+		FillRect(m, Rect{x0, y0, x0 + 4 + rng.Intn(28), y0 + 4 + rng.Intn(28)}, 1)
+	}
+	return m
+}
+
+func BenchmarkFractureRunMerge(b *testing.B) {
+	m := benchMask()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(FractureRunMerge(m)) == 0 {
+			b.Fatal("empty fracture")
+		}
+	}
+}
+
+func BenchmarkLabelComponents(b *testing.B) {
+	m := benchMask()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(Components(m)) == 0 {
+			b.Fatal("no components")
+		}
+	}
+}
+
+func BenchmarkDilateBox(b *testing.B) {
+	m := benchMask()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DilateBox(m, 8)
+	}
+}
+
+func BenchmarkSignedDistance(b *testing.B) {
+	m := benchMask()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SignedDistance(m)
+	}
+}
+
+func BenchmarkEdgeSegments(b *testing.B) {
+	m := benchMask()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(EdgeSegments(m)) == 0 {
+			b.Fatal("no segments")
+		}
+	}
+}

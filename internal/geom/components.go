@@ -1,0 +1,161 @@
+// Package geom provides the rectilinear raster geometry the ILT flow is
+// built on: connected-component labelling, box morphology, rectangle
+// fracturing (the #shots metric of the paper), Manhattan-polygon
+// rasterization for the layout substrate, and target-edge extraction for
+// EPE measurement.
+//
+// Binary images are represented as grid.Mat values containing 0/1; any
+// value ≥ 0.5 is treated as set.
+package geom
+
+import "repro/internal/grid"
+
+// Rect is a half-open axis-aligned rectangle [X0, X1) × [Y0, Y1) in pixels.
+type Rect struct {
+	X0, Y0, X1, Y1 int
+}
+
+// W returns the rectangle width.
+func (r Rect) W() int { return r.X1 - r.X0 }
+
+// H returns the rectangle height.
+func (r Rect) H() int { return r.Y1 - r.Y0 }
+
+// Area returns the rectangle area in pixels.
+func (r Rect) Area() int { return r.W() * r.H() }
+
+// Empty reports whether the rectangle has no interior.
+func (r Rect) Empty() bool { return r.X1 <= r.X0 || r.Y1 <= r.Y0 }
+
+// Union returns the smallest rectangle covering both r and o.
+func (r Rect) Union(o Rect) Rect {
+	if r.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return r
+	}
+	if o.X0 < r.X0 {
+		r.X0 = o.X0
+	}
+	if o.Y0 < r.Y0 {
+		r.Y0 = o.Y0
+	}
+	if o.X1 > r.X1 {
+		r.X1 = o.X1
+	}
+	if o.Y1 > r.Y1 {
+		r.Y1 = o.Y1
+	}
+	return r
+}
+
+// Intersect returns the overlap of r and o (possibly empty).
+func (r Rect) Intersect(o Rect) Rect {
+	if o.X0 > r.X0 {
+		r.X0 = o.X0
+	}
+	if o.Y0 > r.Y0 {
+		r.Y0 = o.Y0
+	}
+	if o.X1 < r.X1 {
+		r.X1 = o.X1
+	}
+	if o.Y1 < r.Y1 {
+		r.Y1 = o.Y1
+	}
+	return r
+}
+
+// Component is one 4-connected region of set pixels.
+type Component struct {
+	Label int
+	Area  int
+	BBox  Rect
+}
+
+// on reports whether the pixel at flat index i is set.
+func on(m *grid.Mat, i int) bool { return m.Data[i] >= 0.5 }
+
+// Label performs 4-connected component labelling. It returns the label map
+// (0 = background, components numbered from 1) and the component table.
+func Label(m *grid.Mat) ([]int32, []Component) {
+	labels := make([]int32, len(m.Data))
+	var comps []Component
+	var stack []int32
+	next := int32(0)
+	for start := range m.Data {
+		if labels[start] != 0 || !on(m, start) {
+			continue
+		}
+		next++
+		comp := Component{Label: int(next), BBox: Rect{X0: m.W, Y0: m.H, X1: 0, Y1: 0}}
+		stack = append(stack[:0], int32(start))
+		labels[start] = next
+		for len(stack) > 0 {
+			i := int(stack[len(stack)-1])
+			stack = stack[:len(stack)-1]
+			x, y := i%m.W, i/m.W
+			comp.Area++
+			if x < comp.BBox.X0 {
+				comp.BBox.X0 = x
+			}
+			if y < comp.BBox.Y0 {
+				comp.BBox.Y0 = y
+			}
+			if x+1 > comp.BBox.X1 {
+				comp.BBox.X1 = x + 1
+			}
+			if y+1 > comp.BBox.Y1 {
+				comp.BBox.Y1 = y + 1
+			}
+			if x > 0 && labels[i-1] == 0 && on(m, i-1) {
+				labels[i-1] = next
+				stack = append(stack, int32(i-1))
+			}
+			if x+1 < m.W && labels[i+1] == 0 && on(m, i+1) {
+				labels[i+1] = next
+				stack = append(stack, int32(i+1))
+			}
+			if y > 0 && labels[i-m.W] == 0 && on(m, i-m.W) {
+				labels[i-m.W] = next
+				stack = append(stack, int32(i-m.W))
+			}
+			if y+1 < m.H && labels[i+m.W] == 0 && on(m, i+m.W) {
+				labels[i+m.W] = next
+				stack = append(stack, int32(i+m.W))
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return labels, comps
+}
+
+// Components returns the 4-connected components of the binary image.
+func Components(m *grid.Mat) []Component {
+	_, comps := Label(m)
+	return comps
+}
+
+// FillRect sets every pixel of r (clipped to the image) to v.
+func FillRect(m *grid.Mat, r Rect, v float64) {
+	r = r.Intersect(Rect{0, 0, m.W, m.H})
+	if r.Empty() {
+		return
+	}
+	for y := r.Y0; y < r.Y1; y++ {
+		row := m.Data[y*m.W : (y+1)*m.W]
+		for x := r.X0; x < r.X1; x++ {
+			row[x] = v
+		}
+	}
+}
+
+// RemoveComponent clears every pixel carrying the given label.
+func RemoveComponent(m *grid.Mat, labels []int32, label int) {
+	for i := range m.Data {
+		if labels[i] == int32(label) {
+			m.Data[i] = 0
+		}
+	}
+}

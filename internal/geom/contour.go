@@ -1,0 +1,128 @@
+package geom
+
+import "repro/internal/grid"
+
+// Contour extraction: trace the boundary of every connected component as a
+// closed rectilinear polygon on the pixel-corner lattice. The polygons
+// reproduce the mask exactly under Rasterize (outer boundaries only — holes
+// are traced as separate clockwise polygons by TraceContours).
+
+// TraceContours returns the boundary polygons of the binary image: one
+// counter-clockwise polygon per outer boundary and one clockwise polygon
+// per hole boundary. Rasterizing the outer polygons and XOR-ing the holes
+// reproduces the image; for hole-free masks, Rasterize over all returned
+// polygons is exact.
+func TraceContours(m *grid.Mat) []Polygon {
+	// Walk the boundary graph on pixel corners. A directed boundary edge
+	// exists wherever a set pixel borders an unset one; following edges
+	// with the "inside on the left" rule yields closed loops.
+	//
+	// Edge encoding: for the corner lattice (W+1)×(H+1), each boundary
+	// edge is stored by its start corner and direction (0=+x, 1=+y, 2=−x,
+	// 3=−y).
+	w, h := m.W, m.H
+	at := func(x, y int) bool {
+		if x < 0 || x >= w || y < 0 || y >= h {
+			return false
+		}
+		return m.Data[y*w+x] >= 0.5
+	}
+	type edgeKey struct {
+		x, y, dir int
+	}
+	edges := make(map[edgeKey]bool)
+	// Horizontal boundaries: between pixel rows y−1 and y at corner row y.
+	for y := 0; y <= h; y++ {
+		for x := 0; x < w; x++ {
+			below, above := at(x, y), at(x, y-1)
+			if below == above {
+				continue
+			}
+			if below {
+				// Feature below: walking +x keeps the inside on the left?
+				// Inside is below (greater y in image coordinates). With
+				// image y growing downward, "inside on the left" when
+				// walking −x; we adopt the convention inside-on-left with
+				// screen coordinates: feature below → edge direction −x.
+				edges[edgeKey{x + 1, y, 2}] = true
+			} else {
+				edges[edgeKey{x, y, 0}] = true
+			}
+		}
+	}
+	// Vertical boundaries: between pixel columns x−1 and x at corner col x.
+	for x := 0; x <= w; x++ {
+		for y := 0; y < h; y++ {
+			right, left := at(x, y), at(x-1, y)
+			if right == left {
+				continue
+			}
+			if right {
+				edges[edgeKey{x, y, 1}] = true
+			} else {
+				edges[edgeKey{x, y + 1, 3}] = true
+			}
+		}
+	}
+
+	var deltas = [4][2]int{{1, 0}, {0, 1}, {-1, 0}, {0, -1}}
+	var polys []Polygon
+	for len(edges) > 0 {
+		// Pick any remaining edge deterministically enough: take the
+		// lexicographically smallest key to make output reproducible.
+		var start edgeKey
+		first := true
+		for k := range edges {
+			if first || k.y < start.y || (k.y == start.y && (k.x < start.x || (k.x == start.x && k.dir < start.dir))) {
+				start, first = k, false
+			}
+		}
+		var poly Polygon
+		cur := start
+		for {
+			delete(edges, cur)
+			next := edgeKey{cur.x + deltas[cur.dir][0], cur.y + deltas[cur.dir][1], cur.dir}
+			// At the next corner, prefer turning left, then straight, then
+			// right (keeps the trace on the same boundary at crossings).
+			chosen := false
+			for _, turn := range []int{3, 0, 1} { // left, straight, right
+				d := (next.dir + turn) % 4
+				cand := edgeKey{next.x, next.y, d}
+				if edges[cand] {
+					if d != cur.dir {
+						poly = append(poly, Point{X: next.x, Y: next.y})
+					}
+					cur = cand
+					chosen = true
+					break
+				}
+			}
+			if !chosen {
+				// Loop closed: add the final corner if it bends.
+				if next.x == start.x && next.y == start.y {
+					if start.dir != cur.dir {
+						poly = append(poly, Point{X: next.x, Y: next.y})
+					}
+					break
+				}
+				// Dead end should be impossible on a well-formed boundary.
+				poly = append(poly, Point{X: next.x, Y: next.y})
+				break
+			}
+		}
+		if len(poly) >= 4 {
+			polys = append(polys, poly)
+		}
+	}
+	return polys
+}
+
+// ContourPerimeter returns the total boundary length of the binary image in
+// pixel units (the sum of all contour lengths).
+func ContourPerimeter(m *grid.Mat) int {
+	total := 0
+	for _, s := range EdgeSegments(m) {
+		total += s.Len()
+	}
+	return total
+}

@@ -1,0 +1,113 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+)
+
+func TestTraceContoursSquare(t *testing.T) {
+	m := grid.NewMat(8, 8)
+	FillRect(m, Rect{2, 3, 6, 6}, 1)
+	polys := TraceContours(m)
+	if len(polys) != 1 {
+		t.Fatalf("%d contours, want 1", len(polys))
+	}
+	p := polys[0]
+	if err := p.Validate(); err != nil {
+		t.Fatalf("invalid polygon: %v", err)
+	}
+	if len(p) != 4 {
+		t.Errorf("square traced with %d vertices, want 4: %v", len(p), p)
+	}
+	if p.Area() != 12 {
+		t.Errorf("traced area %d, want 12", p.Area())
+	}
+	if p.BBox() != (Rect{2, 3, 6, 6}) {
+		t.Errorf("traced bbox %+v", p.BBox())
+	}
+}
+
+func TestTraceContoursLShape(t *testing.T) {
+	m := grid.NewMat(10, 10)
+	FillRect(m, Rect{1, 1, 7, 4}, 1)
+	FillRect(m, Rect{1, 4, 4, 8}, 1)
+	polys := TraceContours(m)
+	if len(polys) != 1 {
+		t.Fatalf("%d contours, want 1", len(polys))
+	}
+	if got := polys[0].Area(); got != 18+12 {
+		t.Errorf("L area %d, want 30", got)
+	}
+	if len(polys[0]) != 6 {
+		t.Errorf("L traced with %d vertices, want 6: %v", len(polys[0]), polys[0])
+	}
+}
+
+func TestTraceContoursMultipleComponents(t *testing.T) {
+	m := grid.NewMat(12, 12)
+	FillRect(m, Rect{1, 1, 4, 4}, 1)
+	FillRect(m, Rect{7, 7, 11, 10}, 1)
+	polys := TraceContours(m)
+	if len(polys) != 2 {
+		t.Fatalf("%d contours, want 2", len(polys))
+	}
+}
+
+func TestTraceContoursEmpty(t *testing.T) {
+	if polys := TraceContours(grid.NewMat(4, 4)); len(polys) != 0 {
+		t.Fatalf("empty image traced %d contours", len(polys))
+	}
+}
+
+// Property: for hole-free masks (unions of overlapping rectangles placed
+// apart), rasterizing the traced contours reproduces the mask exactly.
+func TestTraceRasterizeRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := grid.NewMat(24, 24)
+		for k := 0; k < 5; k++ {
+			x0, y0 := rng.Intn(18)+1, rng.Intn(18)+1
+			FillRect(m, Rect{x0, y0, x0 + 1 + rng.Intn(5), y0 + 1 + rng.Intn(5)}, 1)
+		}
+		// Fill holes so the round-trip is exact (holes trace separately).
+		inv := grid.NewMat(24, 24)
+		for i, v := range m.Data {
+			if v < 0.5 {
+				inv.Data[i] = 1
+			}
+		}
+		labels, comps := Label(inv)
+		for _, c := range comps {
+			// A background component that does not touch the border is a
+			// hole; fill it.
+			if c.BBox.X0 > 0 && c.BBox.Y0 > 0 && c.BBox.X1 < 24 && c.BBox.Y1 < 24 {
+				for i := range m.Data {
+					if labels[i] == int32(c.Label) {
+						m.Data[i] = 1
+					}
+				}
+			}
+		}
+		back := grid.NewMat(24, 24)
+		for _, p := range TraceContours(m) {
+			if err := p.Rasterize(back); err != nil {
+				return false
+			}
+		}
+		return back.Equal(m, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContourPerimeter(t *testing.T) {
+	m := grid.NewMat(8, 8)
+	FillRect(m, Rect{2, 2, 6, 5}, 1)
+	if got := ContourPerimeter(m); got != 2*(4+3) {
+		t.Errorf("perimeter %d, want 14", got)
+	}
+}

@@ -1,0 +1,75 @@
+package geom
+
+import "repro/internal/grid"
+
+// inf is a distance larger than any possible path on a finite grid.
+const inf = 1 << 29
+
+// DistanceL1 returns, for every pixel, the city-block (L1) distance to the
+// nearest set pixel, computed with the classic two-pass chamfer algorithm.
+// Pixels of an image with no set pixels all get a large sentinel distance.
+func DistanceL1(m *grid.Mat) *grid.Mat {
+	w, h := m.W, m.H
+	d := make([]int32, w*h)
+	for i := range d {
+		if m.Data[i] >= 0.5 {
+			d[i] = 0
+		} else {
+			d[i] = inf
+		}
+	}
+	// Forward pass.
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			if x > 0 && d[i-1]+1 < d[i] {
+				d[i] = d[i-1] + 1
+			}
+			if y > 0 && d[i-w]+1 < d[i] {
+				d[i] = d[i-w] + 1
+			}
+		}
+	}
+	// Backward pass.
+	for y := h - 1; y >= 0; y-- {
+		for x := w - 1; x >= 0; x-- {
+			i := y*w + x
+			if x < w-1 && d[i+1]+1 < d[i] {
+				d[i] = d[i+1] + 1
+			}
+			if y < h-1 && d[i+w]+1 < d[i] {
+				d[i] = d[i+w] + 1
+			}
+		}
+	}
+	out := grid.NewMat(w, h)
+	for i, v := range d {
+		out.Data[i] = float64(v)
+	}
+	return out
+}
+
+// SignedDistance returns the signed L1 distance field of a binary image:
+// positive outside features (distance to the nearest set pixel), negative
+// inside (minus the distance to the nearest background pixel). The zero
+// level set lies on the feature boundary; this is the level-set ILT
+// initialisation and reinitialisation primitive.
+func SignedDistance(m *grid.Mat) *grid.Mat {
+	dOut := DistanceL1(m)
+	invDat := make([]float64, len(m.Data))
+	for i, v := range m.Data {
+		if v < 0.5 {
+			invDat[i] = 1
+		}
+	}
+	dIn := DistanceL1(grid.FromSlice(m.W, m.H, invDat))
+	phi := grid.NewMat(m.W, m.H)
+	for i := range phi.Data {
+		if m.Data[i] >= 0.5 {
+			phi.Data[i] = -dIn.Data[i] + 0.5 // inside: ≤ −0.5
+		} else {
+			phi.Data[i] = dOut.Data[i] - 0.5 // outside: ≥ +0.5
+		}
+	}
+	return phi
+}

@@ -1,0 +1,90 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+)
+
+func TestDistanceL1SinglePoint(t *testing.T) {
+	m := grid.NewMat(7, 7)
+	m.Set(3, 3, 1)
+	d := DistanceL1(m)
+	for y := 0; y < 7; y++ {
+		for x := 0; x < 7; x++ {
+			want := float64(absInt(x-3) + absInt(y-3))
+			if d.At(x, y) != want {
+				t.Fatalf("d(%d,%d) = %v, want %v", x, y, d.At(x, y), want)
+			}
+		}
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestDistanceL1MatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := grid.NewMat(12, 10)
+		for i := range m.Data {
+			if rng.Float64() < 0.15 {
+				m.Data[i] = 1
+			}
+		}
+		if m.Sum() == 0 {
+			m.Set(0, 0, 1)
+		}
+		d := DistanceL1(m)
+		for y := 0; y < m.H; y++ {
+			for x := 0; x < m.W; x++ {
+				best := 1 << 30
+				for yy := 0; yy < m.H; yy++ {
+					for xx := 0; xx < m.W; xx++ {
+						if m.At(xx, yy) >= 0.5 {
+							if v := absInt(x-xx) + absInt(y-yy); v < best {
+								best = v
+							}
+						}
+					}
+				}
+				if d.At(x, y) != float64(best) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignedDistanceSigns(t *testing.T) {
+	m := grid.NewMat(16, 16)
+	FillRect(m, Rect{X0: 4, Y0: 4, X1: 12, Y1: 12}, 1)
+	phi := SignedDistance(m)
+	if phi.At(8, 8) >= 0 {
+		t.Errorf("interior φ = %v, want negative", phi.At(8, 8))
+	}
+	if phi.At(0, 0) <= 0 {
+		t.Errorf("exterior φ = %v, want positive", phi.At(0, 0))
+	}
+	// Thresholding φ < 0 recovers the original binary image.
+	for i := range m.Data {
+		inside := phi.Data[i] < 0
+		if inside != (m.Data[i] >= 0.5) {
+			t.Fatal("sign of φ does not match the binary image")
+		}
+	}
+	// Deep interior is more negative than the boundary ring.
+	if phi.At(8, 8) >= phi.At(4, 4) {
+		t.Errorf("φ center %v not below φ boundary %v", phi.At(8, 8), phi.At(4, 4))
+	}
+}

@@ -1,0 +1,144 @@
+package geom
+
+import "repro/internal/grid"
+
+// EPE measurement geometry (Definition 3 of the paper): sample points are
+// distributed evenly along the horizontal and vertical contour segments of
+// the target image; at each point the printed contour is compared to the
+// target contour along the edge normal.
+
+// Orientation of an edge segment.
+type Orientation int
+
+const (
+	// Horizontal edges run along X; their normal is vertical.
+	Horizontal Orientation = iota
+	// Vertical edges run along Y; their normal is horizontal.
+	Vertical
+)
+
+// Segment is one maximal straight contour segment of a binary image, in
+// boundary coordinates: a horizontal segment at Y=y separates pixel rows
+// y-1 and y and spans pixels [X0, X1); Inward is the direction (±1) from
+// the boundary toward the feature interior along the normal axis.
+type Segment struct {
+	Orient Orientation
+	// Pos is the boundary coordinate (y for horizontal, x for vertical).
+	Pos int
+	// Lo, Hi delimit the segment along its running axis, half-open.
+	Lo, Hi int
+	// Inward is +1 if the feature interior lies at increasing normal
+	// coordinate, −1 otherwise.
+	Inward int
+}
+
+// Len returns the segment length in pixels.
+func (s Segment) Len() int { return s.Hi - s.Lo }
+
+// EdgeSegments extracts all maximal horizontal and vertical contour
+// segments of the binary image. The image border counts as background, so
+// features touching the border still produce contour there.
+func EdgeSegments(m *grid.Mat) []Segment {
+	var segs []Segment
+	at := func(x, y int) bool {
+		if x < 0 || x >= m.W || y < 0 || y >= m.H {
+			return false
+		}
+		return m.Data[y*m.W+x] >= 0.5
+	}
+	// Horizontal segments: boundary between rows y-1 and y, for y in [0, H].
+	for y := 0; y <= m.H; y++ {
+		x := 0
+		for x < m.W {
+			below := at(x, y)   // pixel at row y (below the boundary line)
+			above := at(x, y-1) // pixel at row y-1 (above the boundary line)
+			if below == above { // no contour here
+				x++
+				continue
+			}
+			inward := 1 // feature below → interior at increasing y
+			if above {
+				inward = -1
+			}
+			x0 := x
+			for x < m.W {
+				b, a := at(x, y), at(x, y-1)
+				if b == a || (b && inward != 1) || (a && inward != -1) {
+					break
+				}
+				x++
+			}
+			segs = append(segs, Segment{Orient: Horizontal, Pos: y, Lo: x0, Hi: x, Inward: inward})
+		}
+	}
+	// Vertical segments: boundary between columns x-1 and x.
+	for x := 0; x <= m.W; x++ {
+		y := 0
+		for y < m.H {
+			right := at(x, y)
+			left := at(x-1, y)
+			if right == left {
+				y++
+				continue
+			}
+			inward := 1
+			if left {
+				inward = -1
+			}
+			y0 := y
+			for y < m.H {
+				r, l := at(x, y), at(x-1, y)
+				if r == l || (r && inward != 1) || (l && inward != -1) {
+					break
+				}
+				y++
+			}
+			segs = append(segs, Segment{Orient: Vertical, Pos: x, Lo: y0, Hi: y, Inward: inward})
+		}
+	}
+	return segs
+}
+
+// SamplePoint is one EPE measurement site: a position on the contour plus
+// the inward normal.
+type SamplePoint struct {
+	// X, Y are the pixel just inside the feature adjacent to the contour.
+	X, Y int
+	// NX, NY is the inward unit normal.
+	NX, NY int
+}
+
+// SampleEdges places measurement points along every segment at the given
+// spacing (in pixels), starting half a spacing in from each segment end, so
+// short segments of at least spacing/2 length still receive one point.
+func SampleEdges(segs []Segment, spacing int) []SamplePoint {
+	if spacing < 1 {
+		spacing = 1
+	}
+	var pts []SamplePoint
+	for _, s := range segs {
+		for c := s.Lo + spacing/2; c < s.Hi; c += spacing {
+			var p SamplePoint
+			switch s.Orient {
+			case Horizontal:
+				p.NX, p.NY = 0, s.Inward
+				p.X = c
+				if s.Inward > 0 {
+					p.Y = s.Pos // feature pixel at row Pos
+				} else {
+					p.Y = s.Pos - 1
+				}
+			case Vertical:
+				p.NX, p.NY = s.Inward, 0
+				p.Y = c
+				if s.Inward > 0 {
+					p.X = s.Pos
+				} else {
+					p.X = s.Pos - 1
+				}
+			}
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}

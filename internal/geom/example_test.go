@@ -1,0 +1,42 @@
+package geom_test
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+func ExampleFractureRunMerge() {
+	m := grid.NewMat(8, 8)
+	geom.FillRect(m, geom.Rect{X0: 1, Y0: 1, X1: 6, Y1: 3}, 1)
+	geom.FillRect(m, geom.Rect{X0: 1, Y0: 3, X1: 3, Y1: 6}, 1) // L-shape
+	for _, r := range geom.FractureRunMerge(m) {
+		fmt.Printf("shot %dx%d at (%d,%d)\n", r.W(), r.H(), r.X0, r.Y0)
+	}
+	// Output:
+	// shot 5x2 at (1,1)
+	// shot 2x3 at (1,3)
+}
+
+func ExampleComponents() {
+	m := grid.NewMat(8, 4)
+	geom.FillRect(m, geom.Rect{X0: 0, Y0: 0, X1: 2, Y1: 2}, 1)
+	geom.FillRect(m, geom.Rect{X0: 5, Y0: 1, X1: 8, Y1: 3}, 1)
+	for _, c := range geom.Components(m) {
+		fmt.Printf("component area %d bbox %dx%d\n", c.Area, c.BBox.W(), c.BBox.H())
+	}
+	// Output:
+	// component area 4 bbox 2x2
+	// component area 6 bbox 3x2
+}
+
+func ExampleTraceContours() {
+	m := grid.NewMat(6, 6)
+	geom.FillRect(m, geom.Rect{X0: 1, Y0: 1, X1: 5, Y1: 4}, 1)
+	for _, p := range geom.TraceContours(m) {
+		fmt.Printf("%d vertices, area %d\n", len(p), p.Area())
+	}
+	// Output:
+	// 4 vertices, area 12
+}

@@ -1,0 +1,136 @@
+package geom
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// Point is an integer pixel coordinate.
+type Point struct {
+	X, Y int
+}
+
+// Polygon is a rectilinear (Manhattan) polygon given by its vertices in
+// order; consecutive vertices must share either X or Y. The boundary closes
+// from the last vertex back to the first. Coordinates follow the half-open
+// pixel convention: a unit square covering pixel (0,0) is
+// (0,0)(1,0)(1,1)(0,1).
+type Polygon []Point
+
+// Validate reports the first geometric problem: fewer than 4 vertices, a
+// non-Manhattan segment, or a zero-length edge.
+func (p Polygon) Validate() error {
+	if len(p) < 4 {
+		return fmt.Errorf("geom: polygon needs ≥ 4 vertices, got %d", len(p))
+	}
+	for i := range p {
+		a, b := p[i], p[(i+1)%len(p)]
+		if a.X != b.X && a.Y != b.Y {
+			return fmt.Errorf("geom: segment %d (%v→%v) is not axis-aligned", i, a, b)
+		}
+		if a == b {
+			return fmt.Errorf("geom: zero-length segment at vertex %d", i)
+		}
+	}
+	return nil
+}
+
+// BBox returns the polygon bounding box.
+func (p Polygon) BBox() Rect {
+	r := Rect{X0: p[0].X, Y0: p[0].Y, X1: p[0].X, Y1: p[0].Y}
+	for _, v := range p[1:] {
+		if v.X < r.X0 {
+			r.X0 = v.X
+		}
+		if v.Y < r.Y0 {
+			r.Y0 = v.Y
+		}
+		if v.X > r.X1 {
+			r.X1 = v.X
+		}
+		if v.Y > r.Y1 {
+			r.Y1 = v.Y
+		}
+	}
+	return r
+}
+
+// Area returns the enclosed area via the shoelace formula (always ≥ 0).
+func (p Polygon) Area() int {
+	var a int
+	for i := range p {
+		j := (i + 1) % len(p)
+		a += p[i].X*p[j].Y - p[j].X*p[i].Y
+	}
+	if a < 0 {
+		a = -a
+	}
+	return a / 2
+}
+
+// Rasterize fills the polygon interior into m (setting pixels to 1) using
+// even-odd scanline filling on pixel centers. Pixels outside m are clipped.
+func (p Polygon) Rasterize(m *grid.Mat) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	bb := p.BBox().Intersect(Rect{0, 0, m.W, m.H})
+	if bb.Empty() {
+		return nil
+	}
+	for y := bb.Y0; y < bb.Y1; y++ {
+		cy := float64(y) + 0.5
+		// Collect crossings of vertical edges with the scanline.
+		var xs []int
+		for i := range p {
+			a, b := p[i], p[(i+1)%len(p)]
+			if a.X != b.X {
+				continue // horizontal edge: no crossing with a center line
+			}
+			y0, y1 := a.Y, b.Y
+			if y0 > y1 {
+				y0, y1 = y1, y0
+			}
+			if cy > float64(y0) && cy < float64(y1) {
+				xs = append(xs, a.X)
+			}
+		}
+		if len(xs)%2 != 0 {
+			return fmt.Errorf("geom: odd crossing count at scanline %d (self-intersecting polygon?)", y)
+		}
+		sortInts(xs)
+		for k := 0; k+1 < len(xs); k += 2 {
+			x0, x1 := xs[k], xs[k+1]
+			if x0 < 0 {
+				x0 = 0
+			}
+			if x1 > m.W {
+				x1 = m.W
+			}
+			row := m.Data[y*m.W : (y+1)*m.W]
+			for x := x0; x < x1; x++ {
+				row[x] = 1
+			}
+		}
+	}
+	return nil
+}
+
+// RectPolygon returns the 4-vertex polygon of a rectangle.
+func RectPolygon(r Rect) Polygon {
+	return Polygon{{r.X0, r.Y0}, {r.X1, r.Y0}, {r.X1, r.Y1}, {r.X0, r.Y1}}
+}
+
+func sortInts(a []int) {
+	// Insertion sort: crossing lists are tiny (almost always 2–6 entries).
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

@@ -1,0 +1,44 @@
+package grid
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelFor runs body(i) for i in [0, n) across up to workers goroutines.
+// workers ≤ 0 selects runtime.GOMAXPROCS(0). Iterations are split into
+// contiguous chunks, so body should be roughly uniform in cost per index.
+func ParallelFor(workers, n int, body func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,121 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Additional algebraic property tests for the resampling operators — these
+// identities are what make the multi-level gradient chain exact.
+
+// Pooling is linear: P(a·x + b·y) = a·P(x) + b·P(y).
+func TestAvgPoolLinearityProperty(t *testing.T) {
+	f := func(seed int64, a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		a = math.Mod(a, 8)
+		b = math.Mod(b, 8)
+		rng := rand.New(rand.NewSource(seed))
+		x, y := randMat(rng, 8, 8), randMat(rng, 8, 8)
+		comb := x.Clone()
+		comb.Scale(a)
+		comb.AddScaled(b, y)
+		lhs := AvgPoolDown(comb, 4)
+		px, py := AvgPoolDown(x, 4), AvgPoolDown(y, 4)
+		px.Scale(a)
+		px.AddScaled(b, py)
+		return lhs.Equal(px, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Composition: pooling by s then by t equals pooling by s·t.
+func TestAvgPoolCompositionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := randMat(rng, 16, 16)
+		twice := AvgPoolDown(AvgPoolDown(x, 2), 4)
+		once := AvgPoolDown(x, 8)
+		return twice.Equal(once, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Upsampling composes the same way.
+func TestUpsampleCompositionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := randMat(rng, 3, 5)
+		twice := UpsampleNearest(UpsampleNearest(x, 2), 3)
+		once := UpsampleNearest(x, 6)
+		return twice.Equal(once, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// SmoothPool is a contraction in the max-norm for inputs in [0, 1]: output
+// values stay in the input's range (averaging cannot extrapolate).
+func TestSmoothPoolRangePreservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := NewMat(9, 9)
+		for i := range x.Data {
+			x.Data[i] = rng.Float64()
+		}
+		min, max := x.MinMax()
+		s := SmoothPool(x, 3)
+		smin, smax := s.MinMax()
+		return smin >= min-1e-12 && smax <= max+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// SmoothPool preserves the total mass in the interior sense: for an image
+// padded with enough zeros, the sum is preserved up to border effects;
+// assert exact sum preservation for constant-padded doubly-smoothed deltas
+// via the adjoint identity instead: ⟨S·x, 1⟩ = ⟨x, Sᵀ·1⟩.
+func TestSmoothPoolMassViaAdjointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := randMat(rng, 10, 7)
+		ones := NewMat(10, 7)
+		ones.Fill(1)
+		lhs := SmoothPool(x, 3).Dot(ones)
+		rhs := x.Dot(SmoothPoolAdjoint(ones, 3))
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// ParallelFor covers every index exactly once for arbitrary worker counts.
+func TestParallelForCoverageProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		workers := rng.Intn(12) // includes 0 → GOMAXPROCS
+		counts := make([]int32, n)
+		ParallelFor(workers, n, func(i int) { counts[i]++ })
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,252 @@
+package grid
+
+import "fmt"
+
+// AvgPoolDown performs the downsampling average pool of Algorithm 1
+// (kernel_size = s, stride = s): each output pixel is the mean of an s×s
+// input block. The input dimensions must be divisible by s.
+func AvgPoolDown(m *Mat, s int) *Mat {
+	if s <= 0 {
+		panic(fmt.Sprintf("grid: AvgPoolDown scale %d", s))
+	}
+	if s == 1 {
+		return m.Clone()
+	}
+	if m.W%s != 0 || m.H%s != 0 {
+		panic(fmt.Sprintf("grid: AvgPoolDown %dx%d not divisible by %d", m.W, m.H, s))
+	}
+	w, h := m.W/s, m.H/s
+	out := NewMat(w, h)
+	inv := 1 / float64(s*s)
+	for oy := 0; oy < h; oy++ {
+		for ox := 0; ox < w; ox++ {
+			var sum float64
+			for dy := 0; dy < s; dy++ {
+				row := (oy*s + dy) * m.W
+				for dx := 0; dx < s; dx++ {
+					sum += m.Data[row+ox*s+dx]
+				}
+			}
+			out.Data[oy*w+ox] = sum * inv
+		}
+	}
+	return out
+}
+
+// AvgPoolDownAdjoint is the exact adjoint of AvgPoolDown: it spreads each
+// gradient value uniformly (scaled by 1/s²) over the s×s block it was pooled
+// from. g has the pooled size; the result has size (g.W*s)×(g.H*s).
+func AvgPoolDownAdjoint(g *Mat, s int) *Mat {
+	if s <= 0 {
+		panic(fmt.Sprintf("grid: AvgPoolDownAdjoint scale %d", s))
+	}
+	if s == 1 {
+		return g.Clone()
+	}
+	out := NewMat(g.W*s, g.H*s)
+	inv := 1 / float64(s*s)
+	for oy := 0; oy < g.H; oy++ {
+		for ox := 0; ox < g.W; ox++ {
+			v := g.Data[oy*g.W+ox] * inv
+			for dy := 0; dy < s; dy++ {
+				row := (oy*s + dy) * out.W
+				for dx := 0; dx < s; dx++ {
+					out.Data[row+ox*s+dx] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// UpsampleNearest replicates every pixel into an s×s block
+// (Algorithm 1 line 7).
+func UpsampleNearest(m *Mat, s int) *Mat {
+	if s <= 0 {
+		panic(fmt.Sprintf("grid: UpsampleNearest scale %d", s))
+	}
+	if s == 1 {
+		return m.Clone()
+	}
+	out := NewMat(m.W*s, m.H*s)
+	for y := 0; y < m.H; y++ {
+		// Expand one source row into the first destination row of the block,
+		// then copy that row s-1 more times.
+		dst := out.Data[(y*s)*out.W : (y*s)*out.W+out.W]
+		src := m.Data[y*m.W : (y+1)*m.W]
+		for x, v := range src {
+			base := x * s
+			for dx := 0; dx < s; dx++ {
+				dst[base+dx] = v
+			}
+		}
+		for dy := 1; dy < s; dy++ {
+			copy(out.Data[(y*s+dy)*out.W:(y*s+dy)*out.W+out.W], dst)
+		}
+	}
+	return out
+}
+
+// UpsampleNearestAdjoint is the exact adjoint of UpsampleNearest: each
+// coarse-grid gradient is the sum over its s×s fine-grid block. g must have
+// dimensions divisible by s.
+func UpsampleNearestAdjoint(g *Mat, s int) *Mat {
+	if s <= 0 {
+		panic(fmt.Sprintf("grid: UpsampleNearestAdjoint scale %d", s))
+	}
+	if s == 1 {
+		return g.Clone()
+	}
+	if g.W%s != 0 || g.H%s != 0 {
+		panic(fmt.Sprintf("grid: UpsampleNearestAdjoint %dx%d not divisible by %d", g.W, g.H, s))
+	}
+	w, h := g.W/s, g.H/s
+	out := NewMat(w, h)
+	for oy := 0; oy < h; oy++ {
+		for ox := 0; ox < w; ox++ {
+			var sum float64
+			for dy := 0; dy < s; dy++ {
+				row := (oy*s + dy) * g.W
+				for dx := 0; dx < s; dx++ {
+					sum += g.Data[row+ox*s+dx]
+				}
+			}
+			out.Data[oy*w+ox] = sum
+		}
+	}
+	return out
+}
+
+// SmoothPool applies the shape-smoothing average pool of Section III-D:
+// an n×n window with stride 1 and same-size output. Border pixels average
+// only the neighbours that exist (the normalisation uses the true window
+// population), so a constant matrix is a fixed point. n must be odd.
+func SmoothPool(m *Mat, n int) *Mat {
+	if n <= 0 || n%2 == 0 {
+		panic(fmt.Sprintf("grid: SmoothPool window %d must be odd and positive", n))
+	}
+	if n == 1 {
+		return m.Clone()
+	}
+	h := n / 2
+	// Separable implementation: horizontal pass with running sums, then
+	// vertical pass, tracking counts for border normalisation.
+	tmp := NewMat(m.W, m.H)
+	cnt := NewMat(m.W, m.H)
+	for y := 0; y < m.H; y++ {
+		row := m.Data[y*m.W : (y+1)*m.W]
+		trow := tmp.Data[y*m.W : (y+1)*m.W]
+		crow := cnt.Data[y*m.W : (y+1)*m.W]
+		var sum float64
+		c := 0
+		for x := 0; x <= h && x < m.W; x++ {
+			sum += row[x]
+			c++
+		}
+		trow[0], crow[0] = sum, float64(c)
+		for x := 1; x < m.W; x++ {
+			if x+h < m.W {
+				sum += row[x+h]
+				c++
+			}
+			if x-h-1 >= 0 {
+				sum -= row[x-h-1]
+				c--
+			}
+			trow[x], crow[x] = sum, float64(c)
+		}
+	}
+	out := NewMat(m.W, m.H)
+	colSum := make([]float64, m.W)
+	colCnt := make([]float64, m.W)
+	for y := 0; y <= h && y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			colSum[x] += tmp.Data[y*m.W+x]
+			colCnt[x] += cnt.Data[y*m.W+x]
+		}
+	}
+	for x := 0; x < m.W; x++ {
+		out.Data[x] = colSum[x] / colCnt[x]
+	}
+	for y := 1; y < m.H; y++ {
+		if y+h < m.H {
+			for x := 0; x < m.W; x++ {
+				colSum[x] += tmp.Data[(y+h)*m.W+x]
+				colCnt[x] += cnt.Data[(y+h)*m.W+x]
+			}
+		}
+		if y-h-1 >= 0 {
+			for x := 0; x < m.W; x++ {
+				colSum[x] -= tmp.Data[(y-h-1)*m.W+x]
+				colCnt[x] -= cnt.Data[(y-h-1)*m.W+x]
+			}
+		}
+		for x := 0; x < m.W; x++ {
+			out.Data[y*m.W+x] = colSum[x] / colCnt[x]
+		}
+	}
+	return out
+}
+
+// SmoothPoolAdjoint is the exact adjoint of SmoothPool. Because the window
+// is symmetric but the border normalisation varies per output pixel, the
+// adjoint first divides each gradient by its window population and then
+// scatters it, which is equivalent to gathering the normalised values.
+func SmoothPoolAdjoint(g *Mat, n int) *Mat {
+	if n <= 0 || n%2 == 0 {
+		panic(fmt.Sprintf("grid: SmoothPoolAdjoint window %d must be odd and positive", n))
+	}
+	if n == 1 {
+		return g.Clone()
+	}
+	h := n / 2
+	// Normalise by the window population of each *output* pixel...
+	norm := NewMat(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		hy := minInt(y+h, g.H-1) - maxInt(y-h, 0) + 1
+		for x := 0; x < g.W; x++ {
+			hx := minInt(x+h, g.W-1) - maxInt(x-h, 0) + 1
+			norm.Data[y*g.W+x] = g.Data[y*g.W+x] / float64(hy*hx)
+		}
+	}
+	// ...then the scatter of a symmetric window equals a plain box gather.
+	return boxSum(norm, h)
+}
+
+// boxSum computes out(p) = Σ over the (2h+1)×(2h+1) window of m clipped to
+// the matrix bounds, via a summed-area table.
+func boxSum(m *Mat, h int) *Mat {
+	w, ht := m.W, m.H
+	// sat has an extra zero row/col: sat[y][x] = Σ m[0..y-1][0..x-1].
+	sat := make([]float64, (w+1)*(ht+1))
+	for y := 0; y < ht; y++ {
+		var rowAcc float64
+		for x := 0; x < w; x++ {
+			rowAcc += m.Data[y*w+x]
+			sat[(y+1)*(w+1)+x+1] = sat[y*(w+1)+x+1] + rowAcc
+		}
+	}
+	out := NewMat(w, ht)
+	for y := 0; y < ht; y++ {
+		y0, y1 := maxInt(y-h, 0), minInt(y+h, ht-1)+1
+		for x := 0; x < w; x++ {
+			x0, x1 := maxInt(x-h, 0), minInt(x+h, w-1)+1
+			out.Data[y*w+x] = sat[y1*(w+1)+x1] - sat[y0*(w+1)+x1] - sat[y1*(w+1)+x0] + sat[y0*(w+1)+x0]
+		}
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,240 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAvgPoolDownValues(t *testing.T) {
+	m := FromSlice(4, 2, []float64{
+		1, 3, 5, 7,
+		5, 7, 9, 11,
+	})
+	p := AvgPoolDown(m, 2)
+	if p.W != 2 || p.H != 1 {
+		t.Fatalf("pooled size %dx%d, want 2x1", p.W, p.H)
+	}
+	if p.At(0, 0) != 4 || p.At(1, 0) != 8 {
+		t.Fatalf("pooled values %v %v, want 4 8", p.At(0, 0), p.At(1, 0))
+	}
+}
+
+func TestAvgPoolDownScaleOneIsCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randMat(rng, 6, 6)
+	p := AvgPoolDown(m, 1)
+	if !p.Equal(m, 0) {
+		t.Fatal("s=1 pool is not identity")
+	}
+	p.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("s=1 pool aliases input")
+	}
+}
+
+func TestAvgPoolDownIndivisiblePanics(t *testing.T) {
+	m := NewMat(5, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("indivisible AvgPoolDown did not panic")
+		}
+	}()
+	AvgPoolDown(m, 2)
+}
+
+func TestAvgPoolPreservesMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randMat(rng, 16, 16)
+	for _, s := range []int{2, 4, 8} {
+		p := AvgPoolDown(m, s)
+		if math.Abs(p.Sum()*float64(s*s)-m.Sum()) > 1e-9 {
+			t.Errorf("s=%d: pooled sum*s² = %v, want %v", s, p.Sum()*float64(s*s), m.Sum())
+		}
+	}
+}
+
+func TestUpsampleNearestValues(t *testing.T) {
+	m := FromSlice(2, 1, []float64{1, 2})
+	u := UpsampleNearest(m, 2)
+	want := []float64{1, 1, 2, 2, 1, 1, 2, 2}
+	for i, v := range want {
+		if u.Data[i] != v {
+			t.Fatalf("upsample Data[%d] = %v, want %v", i, u.Data[i], v)
+		}
+	}
+}
+
+func TestUpsampleThenPoolIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := randMat(rng, 8, 8)
+	for _, s := range []int{2, 4} {
+		r := AvgPoolDown(UpsampleNearest(m, s), s)
+		if !r.Equal(m, 1e-12) {
+			t.Errorf("s=%d: AvgPoolDown∘UpsampleNearest is not identity", s)
+		}
+	}
+}
+
+// adjointIdentity checks ⟨A x, y⟩ = ⟨x, Aᵀ y⟩ for an operator pair.
+func adjointIdentity(t *testing.T, name string, x, y *Mat, fwd func(*Mat) *Mat, adj func(*Mat) *Mat) {
+	t.Helper()
+	ax := fwd(x)
+	if ax.W != y.W || ax.H != y.H {
+		t.Fatalf("%s: forward output %dx%d does not match y %dx%d", name, ax.W, ax.H, y.W, y.H)
+	}
+	aty := adj(y)
+	lhs := ax.Dot(y)
+	rhs := x.Dot(aty)
+	if math.Abs(lhs-rhs) > 1e-9*(1+math.Abs(lhs)) {
+		t.Errorf("%s: ⟨Ax,y⟩ = %v but ⟨x,Aᵀy⟩ = %v", name, lhs, rhs)
+	}
+}
+
+func TestAvgPoolAdjointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const s = 4
+		x := randMat(rng, 16, 12)
+		y := randMat(rng, 4, 3)
+		ax := AvgPoolDown(x, s)
+		aty := AvgPoolDownAdjoint(y, s)
+		return math.Abs(ax.Dot(y)-x.Dot(aty)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpsampleAdjointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const s = 3
+		x := randMat(rng, 5, 4)
+		y := randMat(rng, 15, 12)
+		ax := UpsampleNearest(x, s)
+		aty := UpsampleNearestAdjoint(y, s)
+		return math.Abs(ax.Dot(y)-x.Dot(aty)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSmoothPoolConstantFixedPoint(t *testing.T) {
+	m := NewMat(9, 7)
+	m.Fill(0.37)
+	s := SmoothPool(m, 3)
+	for i, v := range s.Data {
+		if math.Abs(v-0.37) > 1e-12 {
+			t.Fatalf("SmoothPool not constant-preserving at %d: %v", i, v)
+		}
+	}
+}
+
+func TestSmoothPoolInteriorValue(t *testing.T) {
+	// A single impulse in the interior spreads 1/9 to each 3x3 neighbour.
+	m := NewMat(7, 7)
+	m.Set(3, 3, 9)
+	s := SmoothPool(m, 3)
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if got := s.At(3+dx, 3+dy); math.Abs(got-1) > 1e-12 {
+				t.Fatalf("SmoothPool at (%d,%d) = %v, want 1", 3+dx, 3+dy, got)
+			}
+		}
+	}
+	if got := s.At(1, 3); got != 0 {
+		t.Fatalf("SmoothPool leaked outside window: %v", got)
+	}
+}
+
+func TestSmoothPoolBorderNormalisation(t *testing.T) {
+	// Corner pixel of an all-ones matrix must stay exactly 1 because the
+	// window population (4 at a corner) is used as the normaliser.
+	m := NewMat(5, 5)
+	m.Fill(1)
+	s := SmoothPool(m, 3)
+	if math.Abs(s.At(0, 0)-1) > 1e-12 {
+		t.Fatalf("corner = %v, want 1", s.At(0, 0))
+	}
+}
+
+func TestSmoothPoolMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randMat(rng, 11, 9)
+	for _, n := range []int{3, 5} {
+		got := SmoothPool(m, n)
+		h := n / 2
+		for y := 0; y < m.H; y++ {
+			for x := 0; x < m.W; x++ {
+				var sum float64
+				c := 0
+				for dy := -h; dy <= h; dy++ {
+					for dx := -h; dx <= h; dx++ {
+						xx, yy := x+dx, y+dy
+						if xx >= 0 && xx < m.W && yy >= 0 && yy < m.H {
+							sum += m.At(xx, yy)
+							c++
+						}
+					}
+				}
+				want := sum / float64(c)
+				if math.Abs(got.At(x, y)-want) > 1e-9 {
+					t.Fatalf("n=%d SmoothPool(%d,%d) = %v, want %v", n, x, y, got.At(x, y), want)
+				}
+			}
+		}
+	}
+}
+
+func TestSmoothPoolAdjointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := randMat(rng, 10, 8)
+		y := randMat(rng, 10, 8)
+		ax := SmoothPool(x, 3)
+		aty := SmoothPoolAdjoint(y, 3)
+		return math.Abs(ax.Dot(y)-x.Dot(aty)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSmoothPoolEvenWindowPanics(t *testing.T) {
+	m := NewMat(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("even smoothing window did not panic")
+		}
+	}()
+	SmoothPool(m, 4)
+}
+
+func TestAdjointShapes(t *testing.T) {
+	g := NewMat(3, 2)
+	up := AvgPoolDownAdjoint(g, 4)
+	if up.W != 12 || up.H != 8 {
+		t.Fatalf("AvgPoolDownAdjoint size %dx%d, want 12x8", up.W, up.H)
+	}
+	fine := NewMat(12, 8)
+	down := UpsampleNearestAdjoint(fine, 4)
+	if down.W != 3 || down.H != 2 {
+		t.Fatalf("UpsampleNearestAdjoint size %dx%d, want 3x2", down.W, down.H)
+	}
+}
+
+func TestAdjointIdentityHelperCatchesOperators(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := randMat(rng, 8, 8)
+	y := randMat(rng, 2, 2)
+	adjointIdentity(t, "avgpool4", x, y,
+		func(m *Mat) *Mat { return AvgPoolDown(m, 4) },
+		func(m *Mat) *Mat { return AvgPoolDownAdjoint(m, 4) })
+	y2 := randMat(rng, 8, 8)
+	adjointIdentity(t, "smooth5", x, y2,
+		func(m *Mat) *Mat { return SmoothPool(m, 5) },
+		func(m *Mat) *Mat { return SmoothPoolAdjoint(m, 5) })
+}

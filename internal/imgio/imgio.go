@@ -1,0 +1,134 @@
+// Package imgio writes the mask/wafer images behind the paper's figures as
+// grayscale PNG or PGM files. Values are clamped to [0, 1] and mapped to
+// 8-bit gray (1 = white = transparent mask / printed resist).
+package imgio
+
+import (
+	"bufio"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"os"
+	"path/filepath"
+
+	"repro/internal/grid"
+)
+
+func toGray(m *grid.Mat) *image.Gray {
+	img := image.NewGray(image.Rect(0, 0, m.W, m.H))
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			v := m.At(x, y)
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			img.SetGray(x, y, color.Gray{Y: uint8(v*255 + 0.5)})
+		}
+	}
+	return img
+}
+
+// WritePNG saves the matrix as a grayscale PNG, creating directories as
+// needed.
+func WritePNG(path string, m *grid.Mat) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("imgio: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("imgio: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if err := png.Encode(w, toGray(m)); err != nil {
+		return fmt.Errorf("imgio: encode %s: %w", path, err)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("imgio: flush %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// WritePGM saves the matrix as a binary (P5) PGM file — trivially parseable
+// by downstream scripts without an image library.
+func WritePGM(path string, m *grid.Mat) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("imgio: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("imgio: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "P5\n%d %d\n255\n", m.W, m.H)
+	buf := make([]byte, m.W)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			v := m.At(x, y)
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			buf[x] = uint8(v*255 + 0.5)
+		}
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("imgio: write %s: %w", path, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("imgio: flush %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// ReadPGM loads a binary (P5) PGM file back into a matrix with values in
+// [0, 1]; it round-trips WritePGM output.
+func ReadPGM(path string) (*grid.Mat, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("imgio: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var magic string
+	var w, h, maxv int
+	if _, err := fmt.Fscan(r, &magic, &w, &h, &maxv); err != nil {
+		return nil, fmt.Errorf("imgio: %s: bad PGM header: %w", path, err)
+	}
+	if magic != "P5" || w <= 0 || h <= 0 || maxv <= 0 || maxv > 255 {
+		return nil, fmt.Errorf("imgio: %s: unsupported PGM (%s, %dx%d, max %d)", path, magic, w, h, maxv)
+	}
+	if _, err := r.ReadByte(); err != nil { // single whitespace after header
+		return nil, fmt.Errorf("imgio: %s: %w", path, err)
+	}
+	m := grid.NewMat(w, h)
+	row := make([]byte, w)
+	for y := 0; y < h; y++ {
+		if _, err := readFull(r, row); err != nil {
+			return nil, fmt.Errorf("imgio: %s: row %d: %w", path, y, err)
+		}
+		for x, b := range row {
+			m.Set(x, y, float64(b)/float64(maxv))
+		}
+	}
+	return m, nil
+}
+
+func readFull(r *bufio.Reader, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

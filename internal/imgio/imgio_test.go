@@ -1,0 +1,92 @@
+package imgio
+
+import (
+	"image/png"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func gradientMat() *grid.Mat {
+	m := grid.NewMat(16, 8)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			m.Set(x, y, float64(x)/float64(m.W-1))
+		}
+	}
+	return m
+}
+
+func TestWritePNGCreatesDecodableFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "m.png")
+	if err := WritePNG(path, gradientMat()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	img, err := png.Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 16 || img.Bounds().Dy() != 8 {
+		t.Errorf("decoded size %v", img.Bounds())
+	}
+}
+
+func TestPGMRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.pgm")
+	src := gradientMat()
+	// Add out-of-range values to exercise clamping.
+	src.Set(0, 0, -0.5)
+	src.Set(1, 0, 1.5)
+	if err := WritePGM(path, src); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPGM(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != src.W || back.H != src.H {
+		t.Fatalf("round-trip size %dx%d", back.W, back.H)
+	}
+	if back.At(0, 0) != 0 {
+		t.Errorf("negative value not clamped to 0: %v", back.At(0, 0))
+	}
+	if back.At(1, 0) != 1 {
+		t.Errorf("overflow value not clamped to 1: %v", back.At(1, 0))
+	}
+	for x := 2; x < src.W; x++ {
+		want := src.At(x, 3)
+		if got := back.At(x, 3); got < want-1.0/255-1e-9 || got > want+1.0/255+1e-9 {
+			t.Fatalf("quantisation error at x=%d: %v vs %v", x, got, want)
+		}
+	}
+}
+
+func TestReadPGMRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.pgm")
+	if err := os.WriteFile(path, []byte("P6\n4 4\n255\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPGM(path); err == nil {
+		t.Error("P6 file accepted as PGM")
+	}
+	if _, err := ReadPGM(filepath.Join(dir, "missing.pgm")); err == nil {
+		t.Error("missing file did not error")
+	}
+	// Truncated pixel data.
+	if err := os.WriteFile(path, []byte("P5\n4 4\n255\nab"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPGM(path); err == nil {
+		t.Error("truncated PGM accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package layout
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the layout parser against arbitrary input: it must
+// never panic, and any layout it accepts must survive a write→parse
+// round-trip with identical rasterization.
+func FuzzParse(f *testing.F) {
+	f.Add("SIZE 32\nRECT 1 1 4 4\n")
+	f.Add("SIZE 16\nPIXEL 2\nPGON 0 0 4 0 4 4 0 4\n")
+	f.Add("# comment\n\nSIZE 8\n")
+	f.Add("SIZE 8\nRECT -3 -3 20 20\n")
+	f.Add("RECT 1 1 2 2")
+	f.Add("SIZE 999999999\n")
+	f.Add("PGON 0 0 0 0 0 0 0 0")
+	f.Fuzz(func(t *testing.T, input string) {
+		l, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if l.Size <= 0 {
+			t.Fatalf("accepted layout with size %d", l.Size)
+		}
+		if l.Size > 4096 {
+			return // rasterizing huge grids is out of fuzz scope
+		}
+		m1, err := l.Rasterize()
+		if err != nil {
+			// Accepted-but-unrasterizable layouts are allowed only for
+			// genuinely degenerate polygons; they must not panic.
+			return
+		}
+		var buf bytes.Buffer
+		if err := l.Write(&buf); err != nil {
+			t.Fatalf("write of accepted layout failed: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of written layout failed: %v", err)
+		}
+		m2, err := back.Rasterize()
+		if err != nil {
+			t.Fatalf("re-rasterize failed: %v", err)
+		}
+		if !m1.Equal(m2, 0) {
+			t.Fatal("rasterization changed across write/parse round-trip")
+		}
+	})
+}

@@ -1,0 +1,208 @@
+// Package layout implements a small text layout format in the spirit of the
+// ICCAD 2013 contest's GLP files, plus rasterization to the simulation
+// grid. The dialect:
+//
+//	# comment
+//	SIZE <pixels>                     — grid side length
+//	PIXEL <nm>                        — pixel size in nm (optional, default 1)
+//	RECT <x0> <y0> <x1> <y1>          — half-open rectangle in pixels
+//	PGON <x1> <y1> <x2> <y2> ...      — rectilinear polygon vertices
+//
+// Coordinates are integers in pixel units.
+package layout
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// Layout is a parsed layout: a grid declaration plus Manhattan shapes.
+type Layout struct {
+	Size    int
+	PixelNM float64
+	Rects   []geom.Rect
+	Polys   []geom.Polygon
+}
+
+// New returns an empty layout of the given grid size and pixel pitch.
+func New(size int, pixelNM float64) *Layout {
+	return &Layout{Size: size, PixelNM: pixelNM}
+}
+
+// AddRect appends a rectangle.
+func (l *Layout) AddRect(r geom.Rect) { l.Rects = append(l.Rects, r) }
+
+// AddPolygon appends a polygon.
+func (l *Layout) AddPolygon(p geom.Polygon) { l.Polys = append(l.Polys, p) }
+
+// ShapeCount returns the number of shapes.
+func (l *Layout) ShapeCount() int { return len(l.Rects) + len(l.Polys) }
+
+// Rasterize renders the layout to a Size×Size binary matrix.
+func (l *Layout) Rasterize() (*grid.Mat, error) {
+	if l.Size <= 0 {
+		return nil, fmt.Errorf("layout: invalid size %d", l.Size)
+	}
+	m := grid.NewMat(l.Size, l.Size)
+	for _, r := range l.Rects {
+		geom.FillRect(m, r, 1)
+	}
+	for i, p := range l.Polys {
+		if err := p.Rasterize(m); err != nil {
+			return nil, fmt.Errorf("layout: polygon %d: %w", i, err)
+		}
+	}
+	return m, nil
+}
+
+// Write emits the layout in the text format.
+func (l *Layout) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# multilevel-ilt layout\nSIZE %d\nPIXEL %g\n", l.Size, l.PixelNM)
+	for _, r := range l.Rects {
+		fmt.Fprintf(bw, "RECT %d %d %d %d\n", r.X0, r.Y0, r.X1, r.Y1)
+	}
+	for _, p := range l.Polys {
+		fmt.Fprintf(bw, "PGON")
+		for _, v := range p {
+			fmt.Fprintf(bw, " %d %d", v.X, v.Y)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Save writes the layout to a file, creating directories as needed.
+func (l *Layout) Save(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("layout: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("layout: %w", err)
+	}
+	if err := l.Write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("layout: write %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Parse reads a layout from r.
+func Parse(r io.Reader) (*Layout, error) {
+	l := &Layout{PixelNM: 1}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch strings.ToUpper(fields[0]) {
+		case "SIZE":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("layout: line %d: SIZE wants 1 argument", lineNo)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("layout: line %d: bad SIZE %q", lineNo, fields[1])
+			}
+			l.Size = v
+		case "PIXEL":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("layout: line %d: PIXEL wants 1 argument", lineNo)
+			}
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("layout: line %d: bad PIXEL %q", lineNo, fields[1])
+			}
+			l.PixelNM = v
+		case "RECT":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("layout: line %d: RECT wants 4 coordinates", lineNo)
+			}
+			var c [4]int
+			for i := 0; i < 4; i++ {
+				v, err := strconv.Atoi(fields[i+1])
+				if err != nil {
+					return nil, fmt.Errorf("layout: line %d: bad coordinate %q", lineNo, fields[i+1])
+				}
+				c[i] = v
+			}
+			r := geom.Rect{X0: c[0], Y0: c[1], X1: c[2], Y1: c[3]}
+			if r.Empty() {
+				return nil, fmt.Errorf("layout: line %d: empty RECT", lineNo)
+			}
+			l.Rects = append(l.Rects, r)
+		case "PGON":
+			coords := fields[1:]
+			if len(coords) < 8 || len(coords)%2 != 0 {
+				return nil, fmt.Errorf("layout: line %d: PGON wants ≥ 4 vertex pairs", lineNo)
+			}
+			p := make(geom.Polygon, len(coords)/2)
+			for i := range p {
+				x, err1 := strconv.Atoi(coords[2*i])
+				y, err2 := strconv.Atoi(coords[2*i+1])
+				if err1 != nil || err2 != nil {
+					return nil, fmt.Errorf("layout: line %d: bad vertex", lineNo)
+				}
+				p[i] = geom.Point{X: x, Y: y}
+			}
+			if err := p.Validate(); err != nil {
+				return nil, fmt.Errorf("layout: line %d: %w", lineNo, err)
+			}
+			l.Polys = append(l.Polys, p)
+		default:
+			return nil, fmt.Errorf("layout: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("layout: %w", err)
+	}
+	if l.Size == 0 {
+		return nil, fmt.Errorf("layout: missing SIZE directive")
+	}
+	return l, nil
+}
+
+// Load reads a layout from a file.
+func Load(path string) (*Layout, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("layout: %w", err)
+	}
+	defer f.Close()
+	l, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return l, nil
+}
+
+// FromMask converts a binary mask image into a layout by run-merge
+// fracturing — the inverse of Rasterize for binary inputs.
+func FromMask(m *grid.Mat, pixelNM float64) *Layout {
+	l := New(m.W, pixelNM)
+	l.Rects = geom.FractureRunMerge(m)
+	return l
+}
+
+// FromMaskPolygons converts a binary mask into a layout of traced boundary
+// polygons (holes filled), a more compact representation than FromMask's
+// fractured rectangles for curvilinear ILT output.
+func FromMaskPolygons(m *grid.Mat, pixelNM float64) *Layout {
+	l := New(m.W, pixelNM)
+	l.Polys = geom.TraceContours(m)
+	return l
+}

@@ -1,0 +1,156 @@
+package layout
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+func sample() *Layout {
+	l := New(64, 4)
+	l.AddRect(geom.Rect{X0: 4, Y0: 4, X1: 20, Y1: 10})
+	l.AddPolygon(geom.Polygon{
+		{X: 30, Y: 30}, {X: 40, Y: 30}, {X: 40, Y: 36},
+		{X: 34, Y: 36}, {X: 34, Y: 44}, {X: 30, Y: 44},
+	})
+	return l
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	l := sample()
+	var buf bytes.Buffer
+	if err := l.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size != 64 || back.PixelNM != 4 {
+		t.Errorf("header round-trip: size %d pixel %g", back.Size, back.PixelNM)
+	}
+	if len(back.Rects) != 1 || back.Rects[0] != l.Rects[0] {
+		t.Errorf("rects round-trip: %+v", back.Rects)
+	}
+	if len(back.Polys) != 1 || len(back.Polys[0]) != 6 {
+		t.Fatalf("polys round-trip: %+v", back.Polys)
+	}
+	m1, err := l.Rasterize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := back.Rasterize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m1.Equal(m2, 0) {
+		t.Error("rasterization differs after round-trip")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "deep", "case.glp")
+	if err := sample().Save(path); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ShapeCount() != 2 {
+		t.Errorf("ShapeCount = %d, want 2", l.ShapeCount())
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	src := "# header\n\nSIZE 32\n  # indented comment\nRECT 1 1 4 4\n"
+	l, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Size != 32 || len(l.Rects) != 1 || l.PixelNM != 1 {
+		t.Errorf("parsed %+v", l)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing size":   "RECT 0 0 1 1\n",
+		"bad size":       "SIZE nope\n",
+		"zero size":      "SIZE 0\n",
+		"bad pixel":      "SIZE 8\nPIXEL -2\n",
+		"rect arity":     "SIZE 8\nRECT 1 2 3\n",
+		"rect coord":     "SIZE 8\nRECT a 2 3 4\n",
+		"empty rect":     "SIZE 8\nRECT 5 5 5 9\n",
+		"pgon arity":     "SIZE 8\nPGON 0 0 4 0 4\n",
+		"pgon too small": "SIZE 8\nPGON 0 0 4 0 4 4\n",
+		"pgon diagonal":  "SIZE 8\nPGON 0 0 4 2 4 4 0 4\n",
+		"unknown":        "SIZE 8\nCIRCLE 1 1 4\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
+func TestRasterizeMatchesShapes(t *testing.T) {
+	l := New(16, 1)
+	l.AddRect(geom.Rect{X0: 2, Y0: 2, X1: 6, Y1: 5})
+	m, err := l.Rasterize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sum() != 12 {
+		t.Errorf("area %v, want 12", m.Sum())
+	}
+}
+
+func TestFromMaskRoundTrip(t *testing.T) {
+	m := grid.NewMat(32, 32)
+	geom.FillRect(m, geom.Rect{X0: 3, Y0: 3, X1: 12, Y1: 9}, 1)
+	geom.FillRect(m, geom.Rect{X0: 15, Y0: 12, X1: 20, Y1: 25}, 1)
+	l := FromMask(m, 2)
+	if l.PixelNM != 2 || l.Size != 32 {
+		t.Errorf("FromMask header %+v", l)
+	}
+	back, err := l.Rasterize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(m, 0) {
+		t.Error("FromMask→Rasterize is not the identity on binary masks")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.glp")); err == nil {
+		t.Error("missing file did not error")
+	}
+}
+
+func TestFromMaskPolygonsRoundTrip(t *testing.T) {
+	m := grid.NewMat(32, 32)
+	geom.FillRect(m, geom.Rect{X0: 3, Y0: 3, X1: 12, Y1: 9}, 1)
+	geom.FillRect(m, geom.Rect{X0: 3, Y0: 9, X1: 7, Y1: 20}, 1) // L-shape
+	l := FromMaskPolygons(m, 1)
+	if len(l.Polys) != 1 {
+		t.Fatalf("%d polygons, want 1", len(l.Polys))
+	}
+	back, err := l.Rasterize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(m, 0) {
+		t.Error("polygon layout does not reproduce the mask")
+	}
+	// Polygons are more compact than rect fracturing for L-shapes.
+	if rects := FromMask(m, 1); len(rects.Rects) < 2 {
+		t.Error("expected the L-shape to fracture into ≥ 2 rects")
+	}
+}

@@ -1,0 +1,71 @@
+package litho
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func benchSetup(b *testing.B, n int) (*Sim, *grid.Mat) {
+	b.Helper()
+	sim := NewSim(model(b))
+	rng := rand.New(rand.NewSource(7))
+	mask := grid.NewMat(n, n)
+	for i := range mask.Data {
+		mask.Data[i] = rng.Float64()
+	}
+	// Warm the plan cache outside the timed region.
+	if _, err := sim.Forward(mask, sim.Model.Nominal, 1, false); err != nil {
+		b.Fatal(err)
+	}
+	return sim, mask
+}
+
+func BenchmarkForward128(b *testing.B) {
+	sim, mask := benchSetup(b, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Forward(mask, sim.Model.Nominal, 1, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForwardEq7Scale4(b *testing.B) {
+	sim, mask := benchSetup(b, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.ForwardEq7(mask, 4, sim.Model.Nominal, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGradient128(b *testing.B) {
+	sim, mask := benchSetup(b, 128)
+	dLdI := grid.NewMat(128, 128)
+	dLdI.Fill(0.5)
+	f, err := sim.Forward(mask, sim.Model.Nominal, 1, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Gradient(f, dLdI); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResistSigmoid(b *testing.B) {
+	_, mask := benchSetup(b, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ResistSigmoid(mask, DefaultThreshold, DefaultAlpha)
+	}
+}

@@ -1,0 +1,201 @@
+// Package litho implements the forward lithography model of the paper:
+// the Hopkins/SOCS aerial-image computation in its exact (Eq. 3),
+// frequency-truncated low-resolution (Eq. 7) and approximate low-resolution
+// (Eq. 8) forms, the constant-threshold (Eq. 1) and sigmoid (Eq. 9) resist
+// models, the three process corners used for PVBand, and the adjoint of the
+// aerial image with respect to the mask, which powers every gradient in the
+// ILT optimizer.
+//
+// Normalisation convention (see DESIGN.md): the forward FFT is unnormalised
+// and the inverse carries 1/n², which combined with open-frame-normalised
+// kernels makes the aerial intensity invariant across resolution levels —
+// the same I_th applies at every scale factor, exactly as Algorithm 1
+// assumes.
+package litho
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/fft"
+	"repro/internal/grid"
+	"repro/internal/optics"
+)
+
+// Sim owns the FFT plan cache and runs forward/adjoint simulations for one
+// optical model. It is safe for concurrent use.
+type Sim struct {
+	Model *optics.Model
+	plans sync.Map // int → *fft.Plan2
+}
+
+// NewSim creates a simulator over a built kernel model.
+func NewSim(model *optics.Model) *Sim {
+	return &Sim{Model: model}
+}
+
+// Plan returns (building if needed) the 2-D FFT plan for size m.
+func (s *Sim) Plan(m int) (*fft.Plan2, error) {
+	if v, ok := s.plans.Load(m); ok {
+		return v.(*fft.Plan2), nil
+	}
+	p, err := fft.NewPlan2(m, m)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := s.plans.LoadOrStore(m, p)
+	return actual.(*fft.Plan2), nil
+}
+
+// Field is the retained state of one forward simulation, sufficient to run
+// the adjoint pass. Amps is only populated when the forward call was asked
+// to keep per-kernel amplitudes (cheaper gradients at the cost of memory);
+// otherwise the gradient pass recomputes each amplitude from Spec.
+type Field struct {
+	M         int          // working grid size
+	Spec      *grid.CMat   // unnormalised FFT of the input mask, m×m
+	Amps      []*grid.CMat // per-kernel amplitude fields A_k, or nil
+	Intensity *grid.Mat    // aerial image including the dose factor
+	Dose      float64
+	KS        *optics.KernelSet
+}
+
+func (s *Sim) checkMask(mask *grid.Mat, p int) error {
+	if mask.W != mask.H {
+		return fmt.Errorf("litho: mask must be square, got %dx%d", mask.W, mask.H)
+	}
+	if mask.W&(mask.W-1) != 0 {
+		return fmt.Errorf("litho: mask size %d is not a power of two", mask.W)
+	}
+	if mask.W < p {
+		return fmt.Errorf("litho: mask size %d smaller than kernel support %d", mask.W, p)
+	}
+	return nil
+}
+
+// Forward runs the exact SOCS simulation (Eq. 3) of the mask at its own
+// resolution: I = dose · Σ_k w_k |F⁻¹(H_k ⊙ F(M))|². With a mask already
+// downsampled by the caller this is exactly Eq. (8) of the paper — the
+// approximation the low-resolution ILT optimises against. Set keepAmps when
+// a gradient pass will follow and memory allows (24 complex fields).
+func (s *Sim) Forward(mask *grid.Mat, ks *optics.KernelSet, dose float64, keepAmps bool) (*Field, error) {
+	if err := s.checkMask(mask, ks.P); err != nil {
+		return nil, err
+	}
+	m := mask.W
+	plan, err := s.Plan(m)
+	if err != nil {
+		return nil, err
+	}
+	spec := grid.ComplexFromReal(mask)
+	plan.Forward(spec)
+
+	f := &Field{M: m, Spec: spec, Dose: dose, KS: ks, Intensity: grid.NewMat(m, m)}
+	if keepAmps {
+		f.Amps = make([]*grid.CMat, len(ks.Kernels))
+	}
+	var buf *grid.CMat
+	for k, h := range ks.Kernels {
+		amp := fft.ApplyKernel(buf, spec, h, m, 1)
+		buf = nil
+		plan.Inverse(amp)
+		amp.AddAbsSqScaled(f.Intensity, dose*ks.Weights[k])
+		if keepAmps {
+			f.Amps[k] = amp
+		} else {
+			buf = amp // reuse the allocation for the next kernel
+		}
+	}
+	return f, nil
+}
+
+// ForwardEq7 runs the frequency-truncated low-resolution simulation of
+// Eq. (7): the mask stays at full resolution n, its spectrum is multiplied
+// by each kernel, truncated to m = n/s with the 1/s² scale, and
+// inverse-transformed at size m. The result equals the exact aerial image
+// sampled every s pixels (the kernel support lies inside the retained band).
+func (s *Sim) ForwardEq7(mask *grid.Mat, scale int, ks *optics.KernelSet, dose float64) (*Field, error) {
+	if err := s.checkMask(mask, ks.P); err != nil {
+		return nil, err
+	}
+	if scale < 1 {
+		return nil, fmt.Errorf("litho: scale %d must be ≥ 1", scale)
+	}
+	n := mask.W
+	if n%scale != 0 {
+		return nil, fmt.Errorf("litho: mask size %d not divisible by scale %d", n, scale)
+	}
+	m := n / scale
+	if m < ks.P {
+		return nil, fmt.Errorf("litho: reduced size %d smaller than kernel support %d", m, ks.P)
+	}
+	if m&(m-1) != 0 {
+		return nil, fmt.Errorf("litho: reduced size %d is not a power of two", m)
+	}
+	planN, err := s.Plan(n)
+	if err != nil {
+		return nil, err
+	}
+	planM, err := s.Plan(m)
+	if err != nil {
+		return nil, err
+	}
+	spec := grid.ComplexFromReal(mask)
+	planN.Forward(spec)
+
+	f := &Field{M: m, Spec: spec, Dose: dose, KS: ks, Intensity: grid.NewMat(m, m)}
+	sc := complex(1/float64(scale*scale), 0)
+	var buf *grid.CMat
+	for k, h := range ks.Kernels {
+		amp := fft.ApplyKernel(buf, spec, h, m, sc)
+		planM.Inverse(amp)
+		amp.AddAbsSqScaled(f.Intensity, dose*ks.Weights[k])
+		buf = amp
+	}
+	return f, nil
+}
+
+// Gradient computes dL/dM for a Field produced by Forward, given dL/dI at
+// the working resolution:
+//
+//	dL/dM = Σ_k 2·w_k·dose · Re[ F⁻¹( conj(H_k) ⊙ F( dLdI ⊙ A_k ) ) ].
+//
+// Amplitudes are taken from the field when kept, otherwise recomputed from
+// the retained mask spectrum. The kernel-adjoint products are accumulated in
+// the frequency domain so only one final inverse FFT is needed.
+func (s *Sim) Gradient(f *Field, dLdI *grid.Mat) (*grid.Mat, error) {
+	if dLdI.W != f.M || dLdI.H != f.M {
+		return nil, fmt.Errorf("litho: dLdI size %dx%d != field size %d", dLdI.W, dLdI.H, f.M)
+	}
+	if f.Amps == nil && (f.Spec.W != f.M || f.Spec.H != f.M) {
+		// Fields from ForwardEq7 keep the full-size spectrum; their adjoint
+		// is not implemented (the optimizer only differentiates Forward).
+		return nil, fmt.Errorf("litho: gradient of a truncated (Eq. 7) field is not supported")
+	}
+	plan, err := s.Plan(f.M)
+	if err != nil {
+		return nil, err
+	}
+	acc := grid.NewCMat(f.M, f.M)
+	var ampBuf, prodBuf *grid.CMat
+	prodBuf = grid.NewCMat(f.M, f.M)
+	for k, h := range f.KS.Kernels {
+		var amp *grid.CMat
+		if f.Amps != nil {
+			amp = f.Amps[k]
+		} else {
+			amp = fft.ApplyKernel(ampBuf, f.Spec, h, f.M, 1)
+			ampBuf = amp
+			plan.Inverse(amp)
+		}
+		// B_k = dLdI ⊙ A_k
+		for i, v := range amp.Data {
+			prodBuf.Data[i] = v * complex(dLdI.Data[i], 0)
+		}
+		plan.Forward(prodBuf)
+		w := complex(2*f.KS.Weights[k]*f.Dose, 0)
+		fft.AccumulateKernelAdjoint(acc, prodBuf, h, w)
+	}
+	plan.Inverse(acc)
+	return acc.Real(), nil
+}

@@ -1,0 +1,30 @@
+package mask_test
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/mask"
+)
+
+func ExampleSigmoid() {
+	// The paper's improved binary function: β = 4, T_R = 0.5 maps the
+	// target seed {0, 1} to {≈0.12, ≈0.88} (Section III-C).
+	s := mask.Sigmoid{Beta: mask.DefaultBeta, TR: 0.5}
+	mp := grid.FromSlice(2, 1, []float64{0, 1})
+	m := s.Apply(mp)
+	fmt.Printf("f(0)=%.3f f(1)=%.3f\n", m.Data[0], m.Data[1])
+	// Output:
+	// f(0)=0.119 f(1)=0.881
+}
+
+func ExampleFinalOutput() {
+	// A weak SRAF at M' = 0.45 survives the paper's output T_R = 0.4 but
+	// not the optimization T_R = 0.5.
+	mp := grid.FromSlice(1, 1, []float64{0.45})
+	strict := mask.FinalOutput(mp, mask.DefaultBeta, 0.5, mask.DefaultFinalThreshold)
+	relaxed := mask.FinalOutput(mp, mask.DefaultBeta, 0.4, mask.DefaultFinalThreshold)
+	fmt.Printf("T_R=0.5 keeps: %v, T_R=0.4 keeps: %v\n", strict.Data[0] == 1, relaxed.Data[0] == 1)
+	// Output:
+	// T_R=0.5 keeps: false, T_R=0.4 keeps: true
+}

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/litho"
+)
+
+// Process-window analysis: the paper evaluates a single ±2% dose / defocus
+// pair (Definition 2); production flows sweep a ladder of conditions. These
+// helpers generalise PVBand to arbitrary dose excursions and report how the
+// printed image degrades across the window — an extension used by the
+// `window` experiment.
+
+// WindowPoint is the evaluation of one process condition.
+type WindowPoint struct {
+	// Dose is the exposure scale factor (1 = nominal).
+	Dose float64
+	// Defocused reports whether the defocus kernel set was used.
+	Defocused bool
+	// Area is the printed area in px².
+	Area float64
+	// L2 is the squared L2 loss against the target in px².
+	L2 float64
+	// EPE is the violation count against the target.
+	EPE int
+}
+
+// DoseWindow prints the mask at every dose in the ladder (at nominal focus
+// and, when withDefocus is set, also defocused) and evaluates each
+// condition against the target.
+func DoseWindow(p *litho.Process, maskImg, target *grid.Mat, doses []float64, withDefocus bool, epeSpacingPx, epeThrPx int) ([]WindowPoint, error) {
+	if len(doses) == 0 {
+		return nil, fmt.Errorf("metrics: empty dose ladder")
+	}
+	var out []WindowPoint
+	kernelSets := []struct {
+		ks        *litho.Corner
+		defocused bool
+	}{}
+	nom := p.Nominal()
+	kernelSets = append(kernelSets, struct {
+		ks        *litho.Corner
+		defocused bool
+	}{&nom, false})
+	if withDefocus {
+		def := p.Inner()
+		def.Dose = 1 // the ladder supplies the dose
+		kernelSets = append(kernelSets, struct {
+			ks        *litho.Corner
+			defocused bool
+		}{&def, true})
+	}
+	for _, set := range kernelSets {
+		for _, dose := range doses {
+			if dose <= 0 {
+				return nil, fmt.Errorf("metrics: non-positive dose %g", dose)
+			}
+			c := litho.Corner{Name: set.ks.Name, KS: set.ks.KS, Dose: dose}
+			z, err := p.Print(maskImg, c)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, WindowPoint{
+				Dose:      dose,
+				Defocused: set.defocused,
+				Area:      z.Sum(),
+				L2:        L2(z, target),
+				EPE:       EPE(target, z, epeSpacingPx, epeThrPx),
+			})
+		}
+	}
+	return out, nil
+}
+
+// PVBandLadder generalises Definition 2 to a ladder of dose excursions:
+// for each delta it returns the XOR area between the (defocus, 1−delta)
+// and (nominal focus, 1+delta) prints. The paper's PVB is the delta = 0.02
+// rung.
+func PVBandLadder(p *litho.Process, maskImg *grid.Mat, deltas []float64) ([]float64, error) {
+	out := make([]float64, 0, len(deltas))
+	for _, d := range deltas {
+		if d < 0 || d >= 1 {
+			return nil, fmt.Errorf("metrics: dose delta %g outside [0, 1)", d)
+		}
+		inner := litho.Corner{Name: "inner", KS: p.Sim.Model.Defocus, Dose: 1 - d}
+		outer := litho.Corner{Name: "outer", KS: p.Sim.Model.Nominal, Dose: 1 + d}
+		zIn, err := p.Print(maskImg, inner)
+		if err != nil {
+			return nil, err
+		}
+		zOut, err := p.Print(maskImg, outer)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PVBand(zIn, zOut))
+	}
+	return out, nil
+}

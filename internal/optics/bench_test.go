@@ -1,0 +1,47 @@
+package optics
+
+import "testing"
+
+func BenchmarkBuildTCC(b *testing.B) {
+	c := TestScale()
+	c.SourceGrid = 7
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tcc := BuildTCC(c, 0); tcc.Dim == 0 {
+			b.Fatal("empty TCC")
+		}
+	}
+}
+
+func BenchmarkKernelSetBuild(b *testing.B) {
+	c := TestScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := buildKernelSet(c, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHermitianEigen32(b *testing.B) {
+	const n = 32
+	c := TestScale()
+	c.SourceGrid = 5
+	tcc := BuildTCC(c, 0)
+	// Use a fixed 32×32 Hermitian block sampled from the TCC.
+	base := make([]complex128, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			base[i*n+j] = tcc.Data[i*tcc.Dim+j]
+		}
+	}
+	work := make([]complex128, n*n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, base)
+		if _, _, err := HermitianEigen(n, work); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

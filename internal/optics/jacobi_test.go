@@ -1,0 +1,153 @@
+package optics
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randHermitian builds a random n×n Hermitian matrix.
+func randHermitian(rng *rand.Rand, n int) []complex128 {
+	a := make([]complex128, n*n)
+	for i := 0; i < n; i++ {
+		a[i*n+i] = complex(rng.NormFloat64(), 0)
+		for j := i + 1; j < n; j++ {
+			v := complex(rng.NormFloat64(), rng.NormFloat64())
+			a[i*n+j] = v
+			a[j*n+i] = cmplx.Conj(v)
+		}
+	}
+	return a
+}
+
+func TestHermitianEigenDiagonal(t *testing.T) {
+	// Diagonal input: eigenvalues are the diagonal, sorted descending.
+	a := []complex128{
+		2, 0, 0,
+		0, 5, 0,
+		0, 0, -1,
+	}
+	vals, vecs, err := HermitianEigen(3, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 2, -1}
+	for i, w := range want {
+		if math.Abs(vals[i]-w) > 1e-12 {
+			t.Errorf("vals[%d] = %v, want %v", i, vals[i], w)
+		}
+	}
+	// First eigenvector should be e_1 (up to phase).
+	if cmplx.Abs(vecs[1*3+0]) < 0.999 {
+		t.Errorf("dominant eigenvector component = %v, want |.|≈1", vecs[1*3+0])
+	}
+}
+
+func TestHermitianEigen2x2Known(t *testing.T) {
+	// [[0, i], [-i, 0]] has eigenvalues ±1.
+	a := []complex128{0, complex(0, 1), complex(0, -1), 0}
+	vals, _, err := HermitianEigen(2, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-1) > 1e-12 || math.Abs(vals[1]+1) > 1e-12 {
+		t.Errorf("vals = %v, want [1, -1]", vals)
+	}
+}
+
+func TestHermitianEigenWrongLength(t *testing.T) {
+	if _, _, err := HermitianEigen(3, make([]complex128, 8)); err == nil {
+		t.Fatal("wrong-length matrix accepted")
+	}
+}
+
+// eigenResidual returns max_k ‖A v_k − λ_k v_k‖ for the original matrix.
+func eigenResidual(n int, orig []complex128, vals []float64, vecs []complex128) float64 {
+	var worst float64
+	for k := 0; k < n; k++ {
+		var res float64
+		for i := 0; i < n; i++ {
+			var av complex128
+			for j := 0; j < n; j++ {
+				av += orig[i*n+j] * vecs[j*n+k]
+			}
+			res += cmplx.Abs(av-complex(vals[k], 0)*vecs[i*n+k]) *
+				cmplx.Abs(av-complex(vals[k], 0)*vecs[i*n+k])
+		}
+		if r := math.Sqrt(res); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+func TestHermitianEigenResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		a := randHermitian(rng, n)
+		orig := append([]complex128(nil), a...)
+		vals, vecs, err := HermitianEigen(n, a)
+		if err != nil {
+			return false
+		}
+		// Eigenvalues descending.
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-12 {
+				return false
+			}
+		}
+		return eigenResidual(n, orig, vals, vecs) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHermitianEigenVectorsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 8
+	a := randHermitian(rng, n)
+	_, vecs, err := HermitianEigen(n, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			var dot complex128
+			for i := 0; i < n; i++ {
+				dot += cmplx.Conj(vecs[i*n+p]) * vecs[i*n+q]
+			}
+			want := complex128(0)
+			if p == q {
+				want = 1
+			}
+			if cmplx.Abs(dot-want) > 1e-9 {
+				t.Fatalf("⟨v%d, v%d⟩ = %v, want %v", p, q, dot, want)
+			}
+		}
+	}
+}
+
+func TestHermitianEigenTracePreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 6
+	a := randHermitian(rng, n)
+	var trace float64
+	for i := 0; i < n; i++ {
+		trace += real(a[i*n+i])
+	}
+	vals, _, err := HermitianEigen(n, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	if math.Abs(sum-trace) > 1e-9 {
+		t.Errorf("Σλ = %v, trace = %v", sum, trace)
+	}
+}

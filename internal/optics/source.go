@@ -1,0 +1,88 @@
+package optics
+
+import "math"
+
+// SourcePoint is one discretised point of the illumination source, expressed
+// in frequency units (nm⁻¹) with an intensity weight.
+type SourcePoint struct {
+	FX, FY float64
+	Weight float64
+}
+
+// DiscretizeSource samples the configured source shape on a
+// SourceGrid×SourceGrid raster of σ-space. Weights are uniform and
+// normalised to sum to 1. The returned slice is never empty for a valid
+// configuration: if the raster misses the shape entirely (possible for very
+// thin rings on coarse grids), the mid-annulus circle is sampled directly.
+func DiscretizeSource(c Config) []SourcePoint {
+	n := c.SourceGrid
+	scale := c.NA / c.WavelengthNM // σ → frequency
+	var pts []SourcePoint
+	for iy := 0; iy < n; iy++ {
+		sy := -c.SigmaOut + 2*c.SigmaOut*float64(iy)/float64(n-1)
+		for ix := 0; ix < n; ix++ {
+			sx := -c.SigmaOut + 2*c.SigmaOut*float64(ix)/float64(n-1)
+			if !inShape(c, sx, sy) {
+				continue
+			}
+			pts = append(pts, SourcePoint{FX: sx * scale, FY: sy * scale, Weight: 1})
+		}
+	}
+	if len(pts) == 0 {
+		// Thin-ring fallback: sample the mid-annulus circle directly.
+		mid := (c.SigmaIn + c.SigmaOut) / 2
+		for i := 0; i < 4*n; i++ {
+			ang := 2 * pi * float64(i) / float64(4*n)
+			pts = append(pts, SourcePoint{
+				FX:     mid * cos(ang) * scale,
+				FY:     mid * sin(ang) * scale,
+				Weight: 1,
+			})
+		}
+	}
+	total := 0.0
+	for _, p := range pts {
+		total += p.Weight
+	}
+	for i := range pts {
+		pts[i].Weight /= total
+	}
+	return pts
+}
+
+// inShape reports whether the σ-space point lies inside the configured
+// illumination geometry.
+func inShape(c Config, sx, sy float64) bool {
+	r2 := sx*sx + sy*sy
+	if r2 > c.SigmaOut*c.SigmaOut+1e-12 {
+		return false
+	}
+	switch c.Shape {
+	case Circular:
+		return true
+	case Annular:
+		return r2 >= c.SigmaIn*c.SigmaIn-1e-12
+	case Dipole:
+		if r2 < c.SigmaIn*c.SigmaIn-1e-12 || r2 == 0 {
+			return false
+		}
+		// Two poles on the X axis with a ±22.5° half-opening.
+		cos2 := sx * sx / r2
+		return cos2 >= cosSq22_5
+	case Quasar:
+		if r2 < c.SigmaIn*c.SigmaIn-1e-12 || r2 == 0 {
+			return false
+		}
+		// Four arcs on the diagonals: |sin 2θ| ≥ sin 45°.
+		sin2theta := 2 * sx * sy / r2
+		return sin2theta >= sin45 || sin2theta <= -sin45
+	default:
+		return false
+	}
+}
+
+// cosSq22_5 = cos²(22.5°); sin45 = sin(45°).
+var (
+	cosSq22_5 = math.Pow(math.Cos(22.5*math.Pi/180), 2)
+	sin45     = math.Sin(45 * math.Pi / 180)
+)

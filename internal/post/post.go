@@ -1,0 +1,99 @@
+// Package post implements the optional post-processing of Section III-D:
+// eliminating too-small shapes and replacing medium-sized irregular SRAFs
+// with rectangles, which simplifies the mask pattern (fewer fracturing
+// shots) at negligible printability cost.
+package post
+
+import (
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// Options tunes the cleanup. All thresholds are in pixels (areas in px²).
+type Options struct {
+	// MinShapeArea: components smaller than this are deleted.
+	MinShapeArea int
+	// MaxSRAFArea: SRAF components up to this area are rectangularized
+	// (replaced by their bounding box). Larger SRAFs are left curvilinear.
+	MaxSRAFArea int
+	// MainFeatureMargin: a component overlapping the target dilated by
+	// this margin counts as (part of) a main feature and is never touched.
+	MainFeatureMargin int
+}
+
+// DefaultOptions returns thresholds appropriate for a grid with the given
+// pixel size in nm (the paper works at 1 nm/px on 2048² tiles).
+func DefaultOptions(pixelNM float64) Options {
+	// Physical thresholds: drop shapes below ~(16 nm)², rectangularize
+	// SRAFs below ~(60 nm)².
+	minA := int(16 * 16 / (pixelNM * pixelNM))
+	if minA < 2 {
+		minA = 2
+	}
+	maxA := int(60 * 60 / (pixelNM * pixelNM))
+	if maxA <= minA {
+		maxA = minA + 1
+	}
+	return Options{
+		MinShapeArea:      minA,
+		MaxSRAFArea:       maxA,
+		MainFeatureMargin: int(8/pixelNM) + 1,
+	}
+}
+
+// Result reports what the cleanup did.
+type Result struct {
+	Mask            *grid.Mat
+	RemovedShapes   int
+	Rectangularized int
+	Seconds         float64
+}
+
+// Clean applies the post-processing to a binary mask. The target is used to
+// tell main features from SRAFs; it must have the mask's shape.
+func Clean(maskImg, target *grid.Mat, opt Options) Result {
+	start := time.Now()
+	out := maskImg.Clone()
+	main := geom.DilateBox(target, opt.MainFeatureMargin)
+
+	labels, comps := geom.Label(out)
+	res := Result{}
+	for _, c := range comps {
+		if touchesMain(labels, main, c) {
+			continue
+		}
+		switch {
+		case c.Area < opt.MinShapeArea:
+			geom.RemoveComponent(out, labels, c.Label)
+			res.RemovedShapes++
+		case c.Area <= opt.MaxSRAFArea:
+			// Replace the irregular SRAF with its bounding box unless it
+			// already is that rectangle.
+			if c.Area != c.BBox.Area() {
+				geom.RemoveComponent(out, labels, c.Label)
+				geom.FillRect(out, c.BBox, 1)
+				res.Rectangularized++
+			}
+		}
+	}
+	res.Mask = out
+	res.Seconds = time.Since(start).Seconds()
+	return res
+}
+
+// touchesMain reports whether any pixel of the component lies inside the
+// dilated main-feature region.
+func touchesMain(labels []int32, main *grid.Mat, c geom.Component) bool {
+	w := main.W
+	for y := c.BBox.Y0; y < c.BBox.Y1; y++ {
+		for x := c.BBox.X0; x < c.BBox.X1; x++ {
+			i := y*w + x
+			if labels[i] == int32(c.Label) && main.Data[i] >= 0.5 {
+				return true
+			}
+		}
+	}
+	return false
+}

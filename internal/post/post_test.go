@@ -1,0 +1,115 @@
+package post
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+func TestDefaultOptionsScaling(t *testing.T) {
+	paper := DefaultOptions(1)
+	if paper.MinShapeArea != 256 || paper.MaxSRAFArea != 3600 {
+		t.Errorf("paper-scale thresholds %+v", paper)
+	}
+	coarse := DefaultOptions(4)
+	if coarse.MinShapeArea != 16 || coarse.MaxSRAFArea != 225 {
+		t.Errorf("coarse thresholds %+v", coarse)
+	}
+	tiny := DefaultOptions(64)
+	if tiny.MinShapeArea < 2 || tiny.MaxSRAFArea <= tiny.MinShapeArea {
+		t.Errorf("degenerate thresholds %+v", tiny)
+	}
+}
+
+func TestCleanRemovesSmallShapes(t *testing.T) {
+	target := grid.NewMat(64, 64)
+	geom.FillRect(target, geom.Rect{X0: 24, Y0: 24, X1: 40, Y1: 40}, 1)
+
+	m := target.Clone()
+	m.Set(4, 4, 1) // a 1-px speck far from the feature
+
+	res := Clean(m, target, Options{MinShapeArea: 4, MaxSRAFArea: 50, MainFeatureMargin: 2})
+	if res.RemovedShapes != 1 {
+		t.Errorf("removed %d shapes, want 1", res.RemovedShapes)
+	}
+	if res.Mask.At(4, 4) != 0 {
+		t.Error("speck survived")
+	}
+	if res.Mask.At(30, 30) != 1 {
+		t.Error("main feature damaged")
+	}
+}
+
+func TestCleanRectangularizesIrregularSRAF(t *testing.T) {
+	target := grid.NewMat(64, 64)
+	geom.FillRect(target, geom.Rect{X0: 40, Y0: 40, X1: 56, Y1: 56}, 1)
+
+	m := target.Clone()
+	// An irregular (L-shaped) SRAF far from the feature.
+	geom.FillRect(m, geom.Rect{X0: 6, Y0: 6, X1: 12, Y1: 9}, 1)
+	geom.FillRect(m, geom.Rect{X0: 6, Y0: 9, X1: 9, Y1: 12}, 1)
+
+	res := Clean(m, target, Options{MinShapeArea: 4, MaxSRAFArea: 100, MainFeatureMargin: 2})
+	if res.Rectangularized != 1 {
+		t.Fatalf("rectangularized %d, want 1", res.Rectangularized)
+	}
+	// The SRAF is now its bounding box: fully filled 6x6.
+	for y := 6; y < 12; y++ {
+		for x := 6; x < 12; x++ {
+			if res.Mask.At(x, y) != 1 {
+				t.Fatalf("bbox fill missing at (%d,%d)", x, y)
+			}
+		}
+	}
+	if geom.ShotCount(res.Mask) >= geom.ShotCount(m) {
+		t.Error("rectangularization did not reduce shots")
+	}
+}
+
+func TestCleanLeavesMainFeatureShapesAlone(t *testing.T) {
+	target := grid.NewMat(64, 64)
+	geom.FillRect(target, geom.Rect{X0: 20, Y0: 20, X1: 44, Y1: 44}, 1)
+
+	// The mask's main feature is irregular (as ILT output is) and overlaps
+	// the target: it must not be rectangularized even though it is small.
+	m := grid.NewMat(64, 64)
+	geom.FillRect(m, geom.Rect{X0: 20, Y0: 20, X1: 44, Y1: 44}, 1)
+	geom.FillRect(m, geom.Rect{X0: 44, Y0: 28, X1: 47, Y1: 36}, 1) // attached bump
+
+	res := Clean(m, target, Options{MinShapeArea: 4, MaxSRAFArea: 10000, MainFeatureMargin: 2})
+	if res.Rectangularized != 0 || res.RemovedShapes != 0 {
+		t.Errorf("main feature was modified: %+v", res)
+	}
+	if !res.Mask.Equal(m, 0) {
+		t.Error("mask changed")
+	}
+}
+
+func TestCleanLargeSRAFKept(t *testing.T) {
+	target := grid.NewMat(64, 64)
+	geom.FillRect(target, geom.Rect{X0: 48, Y0: 48, X1: 60, Y1: 60}, 1)
+
+	m := target.Clone()
+	// A large irregular SRAF above MaxSRAFArea stays curvilinear.
+	geom.FillRect(m, geom.Rect{X0: 4, Y0: 4, X1: 24, Y1: 12}, 1)
+	geom.FillRect(m, geom.Rect{X0: 4, Y0: 12, X1: 12, Y1: 24}, 1)
+
+	res := Clean(m, target, Options{MinShapeArea: 4, MaxSRAFArea: 50, MainFeatureMargin: 2})
+	if res.Rectangularized != 0 {
+		t.Error("large SRAF was rectangularized")
+	}
+	if res.Mask.At(23, 11) != 1 || res.Mask.At(23, 13) != 0 {
+		t.Error("large SRAF shape altered")
+	}
+}
+
+func TestCleanDoesNotMutateInput(t *testing.T) {
+	target := grid.NewMat(32, 32)
+	m := grid.NewMat(32, 32)
+	m.Set(2, 2, 1)
+	Clean(m, target, Options{MinShapeArea: 4, MaxSRAFArea: 8, MainFeatureMargin: 1})
+	if m.At(2, 2) != 1 {
+		t.Error("Clean mutated its input mask")
+	}
+}

@@ -1,0 +1,29 @@
+package report_test
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+)
+
+func ExampleTable() {
+	t := report.NewTable("Demo", "case", "L2", "ratio")
+	t.Add("case1", report.F(49712, 0), report.Ratio(49712, 49712))
+	t.Add("case2", report.F(43792, 0), report.Ratio(43792, 49712))
+	fmt.Print(t.String())
+	// Output:
+	// Demo
+	// case   L2     ratio
+	// -------------------
+	// case1  49712  1.000
+	// case2  43792  0.881
+}
+
+func ExampleTable_csv() {
+	t := report.NewTable("", "a", "b")
+	t.Add("1", "x,y")
+	fmt.Print(t.CSV())
+	// Output:
+	// a,b
+	// 1,"x,y"
+}

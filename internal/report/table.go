@@ -1,0 +1,178 @@
+// Package report renders the experiment tables and CSV series of the
+// reproduction: aligned-text tables with the row/column layout of the
+// paper's Tables I–IV, ratio rows, and simple CSV emission for figure data.
+package report
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends a row; missing cells are blank, extras are dropped.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.Header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a footnote line printed below the table.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header + rows; cells
+// containing commas or quotes are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// SaveCSV writes the CSV form to path, creating directories as needed.
+func (t *Table) SaveCSV(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	return nil
+}
+
+// F formats a float with the given number of decimals, trimming to integers
+// cleanly (the tables mix counts and measurements).
+func F(v float64, decimals int) string {
+	return fmt.Sprintf("%.*f", decimals, v)
+}
+
+// I formats an int.
+func I(v int) string { return fmt.Sprintf("%d", v) }
+
+// Ratio formats v/base, the paper's "Ratio" rows ("-" when base is zero).
+func Ratio(v, base float64) string {
+	if base == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v/base)
+}
+
+// Series is a named list of (x, y) points for figure data (Fig. 5 curves,
+// convergence traces).
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// SaveSeriesCSV writes multiple series sharing an X column to a CSV file.
+// All series must have the same length as the first.
+func SaveSeriesCSV(path string, series ...*Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series")
+	}
+	n := len(series[0].X)
+	for _, s := range series {
+		if len(s.X) != n || len(s.Y) != n {
+			return fmt.Errorf("report: series %q length mismatch", s.Name)
+		}
+	}
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range series {
+		b.WriteByte(',')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%g", series[0].X[i])
+		for _, s := range series {
+			fmt.Fprintf(&b, ",%g", s.Y[i])
+		}
+		b.WriteByte('\n')
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

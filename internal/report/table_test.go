@@ -1,0 +1,116 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTableStringAlignment(t *testing.T) {
+	tb := NewTable("T", "name", "L2", "PVB")
+	tb.Add("case1", "123", "456")
+	tb.Add("case10", "7", "8")
+	tb.Note("units: px²")
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if lines[0] != "T" {
+		t.Errorf("title line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Errorf("header line %q", lines[1])
+	}
+	// Column starts align between header and rows.
+	idx := strings.Index(lines[1], "L2")
+	if idx < 0 || lines[3][idx:idx+3] != "123" {
+		t.Errorf("column misaligned:\n%s", s)
+	}
+	if !strings.Contains(s, "note: units: px²") {
+		t.Error("note missing")
+	}
+}
+
+func TestTableAddPadsAndTruncates(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.Add("1")
+	tb.Add("1", "2", "3")
+	if tb.Rows[0][1] != "" {
+		t.Error("missing cell not padded")
+	}
+	if len(tb.Rows[1]) != 2 {
+		t.Error("extra cell not dropped")
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.Add(`x,y`, `say "hi"`)
+	csv := tb.CSV()
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestSaveCSV(t *testing.T) {
+	dir := t.TempDir()
+	tb := NewTable("", "a")
+	tb.Add("1")
+	path := filepath.Join(dir, "sub", "t.csv")
+	if err := tb.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a\n1\n" {
+		t.Errorf("file content %q", data)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(3.14159, 2) != "3.14" {
+		t.Error("F broken")
+	}
+	if I(42) != "42" {
+		t.Error("I broken")
+	}
+	if Ratio(3, 2) != "1.500" {
+		t.Error("Ratio broken")
+	}
+	if Ratio(3, 0) != "-" {
+		t.Error("Ratio by zero should be '-'")
+	}
+}
+
+func TestSaveSeriesCSV(t *testing.T) {
+	dir := t.TempDir()
+	s1 := &Series{Name: "tr0"}
+	s2 := &Series{Name: "tr05"}
+	for i := 0; i < 3; i++ {
+		s1.Append(float64(i), float64(i*i))
+		s2.Append(float64(i), float64(-i))
+	}
+	path := filepath.Join(dir, "fig5.csv")
+	if err := SaveSeriesCSV(path, s1, s2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "x,tr0,tr05\n0,0,0\n1,1,-1\n2,4,-2\n"
+	if string(data) != want {
+		t.Errorf("series CSV %q, want %q", data, want)
+	}
+
+	bad := &Series{Name: "short"}
+	bad.Append(0, 0)
+	if err := SaveSeriesCSV(path, s1, bad); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := SaveSeriesCSV(path); err == nil {
+		t.Error("empty series list accepted")
+	}
+}
