@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race bench bench-workers vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 concurrency lane: the full suite under the race detector. The
+# parallel SOCS loops, the plan cache and the fullchip tile pool all have
+# dedicated stress/equivalence tests that only bite with -race on.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Workers sweep: times forward/gradient on a 512² clip at worker counts
+# {1,2,4,8} and records the speedup curve (plus host CPU metadata) in
+# BENCH_WORKERS.json.
+bench-workers:
+	$(GO) run ./cmd/benchgen -sweep -n 512 -field 2048 -kernels 24 -reps 3 \
+		-workers 1,2,4,8 -json BENCH_WORKERS.json

@@ -1,9 +1,11 @@
 // Command benchgen writes the synthetic benchmark suites to disk as layout
-// files (and optional preview PNGs):
+// files (and optional preview PNGs), and runs the workers-sweep timing
+// report:
 //
 //	benchgen -suite m1 -out testdata/m1       # cases 1-10
 //	benchgen -suite ext -out testdata/ext     # cases 11-20
 //	benchgen -suite via -count 15 -out testdata/via
+//	benchgen -sweep -json BENCH_WORKERS.json  # parallel-SOCS speedup curve
 package main
 
 import (
@@ -11,6 +13,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/imgio"
@@ -30,7 +34,36 @@ func run() error {
 	count := flag.Int("count", 15, "number of via cases (via suite only)")
 	out := flag.String("out", "testdata", "output directory")
 	png := flag.Bool("png", true, "also write preview PNGs")
+	sweep := flag.Bool("sweep", false, "run the workers sweep instead of generating a suite")
+	sweepJSON := flag.String("json", "BENCH_WORKERS.json", "workers-sweep output file (with -sweep)")
+	sweepWorkers := flag.String("workers", "1,2,4,8", "comma-separated worker counts (with -sweep)")
+	sweepReps := flag.Int("reps", 3, "timed repetitions per sweep point (with -sweep)")
+	kernels := flag.Int("kernels", 24, "number of SOCS kernels (with -sweep)")
 	flag.Parse()
+
+	if *sweep {
+		var list []int
+		for _, tok := range strings.Split(*sweepWorkers, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				return fmt.Errorf("bad -workers entry %q: %w", tok, err)
+			}
+			list = append(list, w)
+		}
+		s, err := bench.RunWorkersSweep(*n, *field, *kernels, *sweepReps, list)
+		if err != nil {
+			return err
+		}
+		if err := s.WriteJSON(*sweepJSON); err != nil {
+			return err
+		}
+		for _, p := range s.Points {
+			fmt.Printf("workers=%-2d  forward %8.4fs (%.2fx)  gradient %8.4fs (%.2fx)\n",
+				p.Workers, p.ForwardSec, p.ForwardSpeedup, p.GradientSec, p.GradientSpeedup)
+		}
+		fmt.Printf("→ %s (%d² clip, %d kernels, %d CPUs)\n", *sweepJSON, s.N, s.Kernels, s.NumCPU)
+		return nil
+	}
 
 	var cases []bench.Case
 	var err error

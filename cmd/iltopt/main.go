@@ -39,6 +39,7 @@ func run() error {
 	field := flag.Float64("field", cfg.FieldNM, "physical field size in nm")
 	kernels := flag.Int("kernels", cfg.Kernels, "number of SOCS kernels")
 	iterdiv := flag.Int("iterdiv", 1, "divide recipe iteration budgets")
+	workers := flag.Int("workers", 0, "per-kernel simulation fan-out (0 = GOMAXPROCS); results are identical for every value")
 	layoutPath := flag.String("layout", "", "layout file to optimize")
 	caseIdx := flag.Int("case", 0, "synthetic paper case index (1-20) instead of -layout")
 	viaIdx := flag.Int("via", 0, "synthetic via case index instead of -layout")
@@ -56,6 +57,7 @@ func run() error {
 	cfg.FieldNM = *field
 	cfg.Kernels = *kernels
 	cfg.IterDiv = *iterdiv
+	cfg.Workers = *workers
 
 	target, name, err := loadTarget(cfg, *layoutPath, *caseIdx, *viaIdx)
 	if err != nil {

@@ -31,6 +31,7 @@ func run() error {
 	n := flag.Int("n", cfg.N, "simulation grid size when rasterizing layouts")
 	field := flag.Float64("field", cfg.FieldNM, "physical field size in nm")
 	kernels := flag.Int("kernels", cfg.Kernels, "number of SOCS kernels")
+	workers := flag.Int("workers", 0, "per-kernel simulation fan-out (0 = GOMAXPROCS); results are identical for every value")
 	layoutPath := flag.String("layout", "", "layout file to simulate")
 	maskPath := flag.String("mask", "", "PGM mask image to simulate (instead of -layout)")
 	eq := flag.Int("eq", 3, "forward model: 3 (exact), 7 (truncated), 8 (pooled mask)")
@@ -42,6 +43,7 @@ func run() error {
 	cfg.N = *n
 	cfg.FieldNM = *field
 	cfg.Kernels = *kernels
+	cfg.Workers = *workers
 
 	var maskImg *grid.Mat
 	switch {

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/litho"
+	"repro/internal/optics"
+)
+
+// Workers sweep: the repo-level BENCH_WORKERS.json artifact tracks the
+// speedup curve of the parallel SOCS loops across PRs. The sweep times the
+// exact forward simulation (Eq. 3) and the adjoint pass on one synthetic M1
+// clip for a list of worker counts; per-point speedups are relative to the
+// workers = 1 column of the same run, so the curve is comparable across
+// hosts even though absolute times are not.
+
+// SweepPoint is one worker count's measurement.
+type SweepPoint struct {
+	Workers         int     `json:"workers"`
+	ForwardSec      float64 `json:"forward_sec"`  // seconds per forward simulation
+	GradientSec     float64 `json:"gradient_sec"` // seconds per adjoint pass
+	ForwardSpeedup  float64 `json:"forward_speedup"`
+	GradientSpeedup float64 `json:"gradient_speedup"`
+}
+
+// WorkersSweep is the serializable sweep report.
+type WorkersSweep struct {
+	// Case geometry: an N² clip of the synthetic M1 case 1 over FieldNM.
+	N       int     `json:"n"`
+	FieldNM float64 `json:"field_nm"`
+	Kernels int     `json:"kernels"`
+	Reps    int     `json:"reps"`
+	// Host context: speedups above NumCPU are not expected.
+	NumCPU     int          `json:"num_cpu"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Points     []SweepPoint `json:"points"`
+}
+
+// RunWorkersSweep measures the forward/adjoint cost of the given clip size
+// for each worker count (reps timed runs after one warm-up each).
+func RunWorkersSweep(n int, fieldNM float64, kernels, reps int, workersList []int) (*WorkersSweep, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	if len(workersList) == 0 {
+		workersList = []int{1, 2, 4, 8}
+	}
+	oc := optics.Default()
+	oc.FieldNM = fieldNM
+	oc.NumKernels = kernels
+	model, err := optics.BuildModel(oc)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := M1Case(n, fieldNM, 1, PaperM1Areas[0], m1Params())
+	if err != nil {
+		return nil, err
+	}
+	mask := cs.Target
+	dLdI := mask.Clone() // any dense adjoint seed works; shape is what matters
+
+	sweep := &WorkersSweep{
+		N: n, FieldNM: fieldNM, Kernels: len(model.Nominal.Kernels), Reps: reps,
+		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, w := range workersList {
+		if w < 1 {
+			return nil, fmt.Errorf("bench: sweep worker count %d must be ≥ 1", w)
+		}
+		sim := litho.NewSim(model)
+		sim.Workers = w
+
+		// Forward (Eq. 3): warm-up builds the plan and the scratch pools.
+		f, err := sim.Forward(mask, model.Nominal, 1, false)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if f, err = sim.Forward(mask, model.Nominal, 1, false); err != nil {
+				return nil, err
+			}
+		}
+		fwd := time.Since(start).Seconds() / float64(reps)
+
+		// Adjoint on the recompute path (the optimizer's large-grid mode).
+		if _, err := sim.Gradient(f, dLdI); err != nil {
+			return nil, err
+		}
+		start = time.Now()
+		for r := 0; r < reps; r++ {
+			if _, err := sim.Gradient(f, dLdI); err != nil {
+				return nil, err
+			}
+		}
+		grad := time.Since(start).Seconds() / float64(reps)
+
+		sweep.Points = append(sweep.Points, SweepPoint{Workers: w, ForwardSec: fwd, GradientSec: grad})
+	}
+	// Speedups vs the workers = 1 point of this run (first point with w == 1,
+	// else the first point).
+	base := sweep.Points[0]
+	for _, p := range sweep.Points {
+		if p.Workers == 1 {
+			base = p
+			break
+		}
+	}
+	for i := range sweep.Points {
+		if sweep.Points[i].ForwardSec > 0 {
+			sweep.Points[i].ForwardSpeedup = base.ForwardSec / sweep.Points[i].ForwardSec
+		}
+		if sweep.Points[i].GradientSec > 0 {
+			sweep.Points[i].GradientSpeedup = base.GradientSec / sweep.Points[i].GradientSec
+		}
+	}
+	return sweep, nil
+}
+
+// WriteJSON writes the sweep report (indented, trailing newline) to path.
+func (s *WorkersSweep) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

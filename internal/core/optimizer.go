@@ -59,6 +59,13 @@ type Options struct {
 	// Penalties are optional mask regularizers (TV, curvature) added to the
 	// Eq. (5) loss; see Penalty.
 	Penalties []Penalty
+	// Workers bounds the per-kernel fan-out of the SOCS simulation loops.
+	// 0 leaves the process simulator's current setting (whose own default
+	// is GOMAXPROCS); a positive value is copied onto Process.Sim by New.
+	// Because the simulator is shared, optimizers running concurrently over
+	// one Process must agree on this value. Results are bit-identical for
+	// every setting.
+	Workers int
 }
 
 // DefaultOptions returns the paper's settings over a process.
@@ -143,6 +150,15 @@ func New(opts Options, target *grid.Mat) (*Optimizer, error) {
 	if opts.Region != nil && (opts.Region.W != target.W || opts.Region.H != target.H) {
 		return nil, fmt.Errorf("core: region %dx%d does not match target %dx%d",
 			opts.Region.W, opts.Region.H, target.W, target.H)
+	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("core: workers %d must be ≥ 0", opts.Workers)
+	}
+	if opts.Workers > 0 && opts.Process.Sim.Workers != opts.Workers {
+		// Write only on change: optimizers built concurrently over a shared
+		// Process (the fullchip tile pool) all carry the pre-applied value
+		// and must not race on the simulator's knob.
+		opts.Process.Sim.Workers = opts.Workers
 	}
 	return &Optimizer{opts: opts, target: target, n: target.W}, nil
 }

@@ -28,6 +28,10 @@ type Config struct {
 	Kernels int
 	// IterDiv divides every recipe's iteration budget (1 = paper budgets).
 	IterDiv int
+	// Workers bounds the per-kernel fan-out of the SOCS simulation loops;
+	// 0 selects runtime.GOMAXPROCS(0). Results are bit-identical for every
+	// value (see DESIGN.md, "Concurrency model").
+	Workers int
 	// WithBaselines also measures the reimplemented baselines (pixel ILT,
 	// attention ILT, level-set ILT), which dominate runtime.
 	WithBaselines bool
@@ -70,6 +74,9 @@ func (c Config) Validate() error {
 	if c.IterDiv < 1 {
 		return fmt.Errorf("experiments: IterDiv = %d must be ≥ 1", c.IterDiv)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("experiments: Workers = %d must be ≥ 0", c.Workers)
+	}
 	return nil
 }
 
@@ -94,6 +101,7 @@ func (c Config) Process() (*litho.Process, error) {
 		return nil, err
 	}
 	p := litho.NewProcess(model)
+	p.Sim.Workers = c.Workers
 	if c.N/8 < model.Nominal.P {
 		// The s = 8 stages of the recipes need N/8 ≥ P.
 		return nil, fmt.Errorf("experiments: grid %d too small for kernel support %d at s=8 (raise N or shrink FieldNM)", c.N, model.Nominal.P)

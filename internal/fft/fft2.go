@@ -14,6 +14,9 @@ import (
 type Plan2 struct {
 	w, h       int
 	rowP, colP *Plan
+	// colBufs recycles column-gather scratch across transforms (and across
+	// the workers of one transform), so a warm plan performs no allocation.
+	colBufs sync.Pool
 }
 
 // NewPlan2 creates a 2-D plan for w×h matrices.
@@ -29,7 +32,12 @@ func NewPlan2(w, h int) (*Plan2, error) {
 			return nil, fmt.Errorf("fft: column plan: %w", err)
 		}
 	}
-	return &Plan2{w: w, h: h, rowP: rp, colP: cp}, nil
+	p := &Plan2{w: w, h: h, rowP: rp, colP: cp}
+	// Pool pointers, not slices: storing a bare slice in a sync.Pool boxes
+	// its header on every Put, which alone dominated the transform's
+	// allocation profile.
+	p.colBufs.New = func() any { b := make([]complex128, h); return &b }
+	return p, nil
 }
 
 // W returns the plan width.
@@ -56,6 +64,36 @@ func (p *Plan2) transform(m *grid.CMat, inverse bool) {
 		workers = 1
 	}
 
+	if workers <= 1 {
+		// Serial fast path: plain loops, no closures, one scratch buffer —
+		// the transform allocates nothing once the plan's pool is warm.
+		for y := 0; y < p.h; y++ {
+			row := m.Data[y*p.w : (y+1)*p.w]
+			if inverse {
+				p.rowP.Inverse(row)
+			} else {
+				p.rowP.Forward(row)
+			}
+		}
+		bp := p.colBufs.Get().(*[]complex128)
+		buf := *bp
+		for x := 0; x < p.w; x++ {
+			for y := 0; y < p.h; y++ {
+				buf[y] = m.Data[y*p.w+x]
+			}
+			if inverse {
+				p.colP.Inverse(buf)
+			} else {
+				p.colP.Forward(buf)
+			}
+			for y := 0; y < p.h; y++ {
+				m.Data[y*p.w+x] = buf[y]
+			}
+		}
+		p.colBufs.Put(bp)
+		return
+	}
+
 	// Row pass. The forward/inverse split keeps normalisation in one place:
 	// the inverse row pass applies 1/W, the inverse column pass 1/H.
 	grid.ParallelFor(workers, p.h, func(y int) {
@@ -68,10 +106,10 @@ func (p *Plan2) transform(m *grid.CMat, inverse bool) {
 	})
 
 	// Column pass: gather each column into a scratch buffer, transform,
-	// scatter back. Scratch buffers are per-worker.
-	var pool = sync.Pool{New: func() any { return make([]complex128, p.h) }}
+	// scatter back. Scratch buffers are per-worker, recycled on the plan.
 	grid.ParallelFor(workers, p.w, func(x int) {
-		buf := pool.Get().([]complex128)
+		bp := p.colBufs.Get().(*[]complex128)
+		buf := *bp
 		for y := 0; y < p.h; y++ {
 			buf[y] = m.Data[y*p.w+x]
 		}
@@ -83,6 +121,6 @@ func (p *Plan2) transform(m *grid.CMat, inverse bool) {
 		for y := 0; y < p.h; y++ {
 			m.Data[y*p.w+x] = buf[y]
 		}
-		pool.Put(buf)
+		p.colBufs.Put(bp)
 	})
 }

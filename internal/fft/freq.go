@@ -126,6 +126,63 @@ func AccumulateKernelAdjoint(acc *grid.CMat, g *grid.CMat, kernel *grid.CMat, sc
 	}
 }
 
+// KernelAdjointPatch gathers the per-kernel adjoint product of
+// AccumulateKernelAdjoint into a dense P×P patch (centered layout, like the
+// kernel itself) instead of scattering it into the accumulator:
+//
+//	patch[fy+h, fx+h] = scale · conj(K[f]) · g[f]   for |f_x|,|f_y| ≤ h = P/2.
+//
+// AddKernelPatch then scatters patch += into an n×n spectrum. Splitting the
+// adjoint this way lets the per-kernel products run in parallel while the
+// accumulation stays a strictly ordered (hence deterministic) serial fold:
+// compute-then-add performs the identical floating-point operations as the
+// fused AccumulateKernelAdjoint loop. dst is reused if it has the right
+// size; pass nil to allocate.
+func KernelAdjointPatch(dst *grid.CMat, g *grid.CMat, kernel *grid.CMat, scale complex128) *grid.CMat {
+	if g.W != g.H {
+		panic("fft: KernelAdjointPatch needs a square spectrum")
+	}
+	m, p := g.W, kernel.W
+	if kernel.W != kernel.H || p%2 == 0 || p > m {
+		panic(fmt.Sprintf("fft: KernelAdjointPatch sizes P=%d m=%d invalid", p, m))
+	}
+	if dst == nil || dst.W != p || dst.H != p {
+		dst = grid.NewCMat(p, p)
+	}
+	h := p / 2
+	for fy := -h; fy <= h; fy++ {
+		gy := (fy + m) % m
+		ky := (fy + h) * p
+		for fx := -h; fx <= h; fx++ {
+			gx := (fx + m) % m
+			k := kernel.Data[ky+fx+h]
+			dst.Data[ky+fx+h] = scale * complex(real(k), -imag(k)) * g.Data[gy*m+gx]
+		}
+	}
+	return dst
+}
+
+// AddKernelPatch accumulates a centered P×P patch (as produced by
+// KernelAdjointPatch) into an n×n DC-at-zero spectrum.
+func AddKernelPatch(acc *grid.CMat, patch *grid.CMat) {
+	if acc.W != acc.H || patch.W != patch.H || patch.W%2 == 0 {
+		panic("fft: AddKernelPatch needs a square accumulator and an odd square patch")
+	}
+	n, p := acc.W, patch.W
+	if p > n {
+		panic(fmt.Sprintf("fft: AddKernelPatch patch %d larger than spectrum %d", p, n))
+	}
+	h := p / 2
+	for fy := -h; fy <= h; fy++ {
+		ay := (fy + n) % n
+		ky := (fy + h) * p
+		for fx := -h; fx <= h; fx++ {
+			ax := (fx + n) % n
+			acc.Data[ay*n+ax] += patch.Data[ky+fx+h]
+		}
+	}
+}
+
 // Shift returns the spectrum with DC moved to the center (for display) or
 // back (the operation is an involution for even sizes).
 func Shift(m *grid.CMat) *grid.CMat {

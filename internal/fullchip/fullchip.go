@@ -5,7 +5,10 @@
 // the optimized mask cores are stitched back together. This is the standard
 // deployment shape of ILT (the paper's DAMO reference [13] targets the same
 // full-chip setting); it also demonstrates that the library composes: the
-// tile loop is embarrassingly parallel when more cores are available.
+// tile loop is embarrassingly parallel, and Optimize exploits that with a
+// bounded worker pool. Tiles write disjoint core regions of the stitched
+// mask and each tile's optimization is deterministic, so the result is
+// bit-identical for every worker count.
 package fullchip
 
 import (
@@ -36,12 +39,20 @@ type Options struct {
 	// Stages is the per-tile multi-level schedule.
 	Stages []core.Stage
 	// Configure, when set, can adjust the per-tile optimizer options
-	// (penalties, learning rate, ...). The Process field is pre-filled.
+	// (penalties, learning rate, ...). The Process field is pre-filled. It
+	// is invoked once per Optimize call to build the option template shared
+	// by every tile; anything it installs (GradHook, Penalties) must be
+	// safe for concurrent use when Workers allows more than one tile in
+	// flight.
 	Configure func(*core.Options)
 	// SkipEmpty skips tiles whose target (including halo) is blank; their
 	// mask stays opaque. Defaults to true via New-style helpers; the zero
 	// value runs every tile.
 	SkipEmpty bool
+	// Workers bounds how many tiles are optimized concurrently; ≤ 0 selects
+	// runtime.GOMAXPROCS(0). The stitched mask is identical for every value
+	// (tiles are independent and write disjoint core regions).
+	Workers int
 }
 
 // Result is the stitched outcome.
@@ -50,8 +61,16 @@ type Result struct {
 	Mask *grid.Mat
 	// TilesTotal and TilesRun count the grid and the non-skipped tiles.
 	TilesTotal, TilesRun int
-	// ILTSeconds is the summed per-tile optimization time.
+	// ILTSeconds is the summed per-tile optimization time (CPU-side cost,
+	// independent of how many tiles ran concurrently).
 	ILTSeconds float64
+	// WallSeconds is the elapsed wall-clock time of the tile loop; with
+	// Workers > 1 it drops below ILTSeconds.
+	WallSeconds float64
+	// TileSeconds records each tile's optimization time in row-major tile
+	// order (zero for skipped tiles), preserving per-tile stats regardless
+	// of completion order.
+	TileSeconds []float64
 }
 
 // HaloFor returns a safe halo for a process at the given pixel pitch: the
@@ -89,38 +108,68 @@ func Optimize(opt Options, target *grid.Mat) (*Result, error) {
 	ny := (target.H + coreStep - 1) / coreStep
 
 	out := grid.NewMat(target.W, target.H)
-	res := &Result{Mask: out, TilesTotal: nx * ny}
-	start := time.Now()
+	res := &Result{Mask: out, TilesTotal: nx * ny, TileSeconds: make([]float64, nx*ny)}
 
-	for ty := 0; ty < ny; ty++ {
-		for tx := 0; tx < nx; tx++ {
-			// Tile origin in target coordinates (may be negative: the halo
-			// of border tiles hangs off the layout; those pixels are dark).
-			ox := tx*coreStep - opt.Halo
-			oy := ty*coreStep - opt.Halo
-			tile := extract(target, ox, oy, t)
-			if opt.SkipEmpty && tile.Sum() == 0 {
-				continue
-			}
-			copts := core.DefaultOptions(opt.Process)
-			if opt.Configure != nil {
-				opt.Configure(&copts)
-			}
-			copts.Process = opt.Process
-			o, err := core.New(copts, tile)
-			if err != nil {
-				return nil, fmt.Errorf("fullchip: tile (%d,%d): %w", tx, ty, err)
-			}
-			r, err := o.Run(opt.Stages)
-			if err != nil {
-				return nil, fmt.Errorf("fullchip: tile (%d,%d): %w", tx, ty, err)
-			}
+	// One option template shared by every tile; per-tile optimizers copy it.
+	copts := core.DefaultOptions(opt.Process)
+	if opt.Configure != nil {
+		opt.Configure(&copts)
+	}
+	copts.Process = opt.Process
+	if copts.Workers > 0 {
+		// Apply the kernel-loop fan-out once, before the tile pool spins up,
+		// so the per-tile core.New calls only read the simulator's knob.
+		opt.Process.Sim.Workers = copts.Workers
+	}
+
+	// The tile loop: each worker owns its tile's optimizer state end to end
+	// and commits into a disjoint core region of the stitched mask, so no
+	// synchronisation is needed beyond the pool join. Outcomes are recorded
+	// per tile index and folded in row-major order afterwards, which keeps
+	// tile accounting, timing stats and error reporting deterministic.
+	type outcome struct {
+		run     bool
+		seconds float64
+		err     error
+	}
+	outcomes := make([]outcome, nx*ny)
+	start := time.Now()
+	grid.ParallelFor(opt.Workers, nx*ny, func(idx int) {
+		tx, ty := idx%nx, idx/nx
+		// Tile origin in target coordinates (may be negative: the halo
+		// of border tiles hangs off the layout; those pixels are dark).
+		ox := tx*coreStep - opt.Halo
+		oy := ty*coreStep - opt.Halo
+		tile := extract(target, ox, oy, t)
+		if opt.SkipEmpty && tile.Sum() == 0 {
+			return
+		}
+		o, err := core.New(copts, tile)
+		if err != nil {
+			outcomes[idx].err = fmt.Errorf("fullchip: tile (%d,%d): %w", tx, ty, err)
+			return
+		}
+		r, err := o.Run(opt.Stages)
+		if err != nil {
+			outcomes[idx].err = fmt.Errorf("fullchip: tile (%d,%d): %w", tx, ty, err)
+			return
+		}
+		// Commit the core region (halo discarded).
+		commit(out, r.Mask, ox+opt.Halo, oy+opt.Halo, opt.Halo, coreStep)
+		outcomes[idx] = outcome{run: true, seconds: r.ILTSeconds}
+	})
+	res.WallSeconds = time.Since(start).Seconds()
+
+	for idx, oc := range outcomes {
+		if oc.err != nil {
+			return nil, oc.err
+		}
+		if oc.run {
 			res.TilesRun++
-			// Commit the core region (halo discarded).
-			commit(out, r.Mask, ox+opt.Halo, oy+opt.Halo, opt.Halo, coreStep)
+			res.ILTSeconds += oc.seconds
+			res.TileSeconds[idx] = oc.seconds
 		}
 	}
-	res.ILTSeconds = time.Since(start).Seconds()
 	return res, nil
 }
 

@@ -175,6 +175,83 @@ func TestSkipEmptyTiles(t *testing.T) {
 	}
 }
 
+// TestParallelTilesMatchSerial: the stitched mask, tile accounting and
+// per-tile stats layout must be identical whether tiles run one at a time
+// or through the worker pool — tile order must not leak into the result.
+func TestParallelTilesMatchSerial(t *testing.T) {
+	p := process(t)
+	tgt := grid.NewMat(192, 160)
+	geom.FillRect(tgt, geom.Rect{X0: 30, Y0: 40, X1: 90, Y1: 60}, 1)
+	geom.FillRect(tgt, geom.Rect{X0: 110, Y0: 90, X1: 170, Y1: 110}, 1)
+	geom.FillRect(tgt, geom.Rect{X0: 20, Y0: 120, X1: 70, Y1: 140}, 1)
+
+	base := Options{
+		Process: p, TileSize: 128, Halo: HaloFor(p, 4),
+		Stages: []core.Stage{{Scale: 4, Iters: 6}}, SkipEmpty: true,
+	}
+	serialOpt := base
+	serialOpt.Workers = 1
+	serial, err := Optimize(serialOpt, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 0} { // 0 = GOMAXPROCS
+		parOpt := base
+		parOpt.Workers = workers
+		par, err := Optimize(parOpt, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !par.Mask.Equal(serial.Mask, 0) {
+			t.Errorf("workers=%d: stitched mask differs from serial run", workers)
+		}
+		if par.TilesRun != serial.TilesRun || par.TilesTotal != serial.TilesTotal {
+			t.Errorf("workers=%d: tile accounting %d/%d vs serial %d/%d",
+				workers, par.TilesRun, par.TilesTotal, serial.TilesRun, serial.TilesTotal)
+		}
+		if len(par.TileSeconds) != par.TilesTotal {
+			t.Errorf("workers=%d: %d tile timings for %d tiles", workers, len(par.TileSeconds), par.TilesTotal)
+		}
+		for idx := range par.TileSeconds {
+			if (par.TileSeconds[idx] > 0) != (serial.TileSeconds[idx] > 0) {
+				t.Errorf("workers=%d: tile %d run/skip state differs from serial", workers, idx)
+			}
+		}
+	}
+}
+
+// TestPerTileStatsConsistent: ILTSeconds must equal the sum of TileSeconds
+// and only non-skipped tiles may report time.
+func TestPerTileStatsConsistent(t *testing.T) {
+	p := process(t)
+	tgt := grid.NewMat(256, 256)
+	geom.FillRect(tgt, geom.Rect{X0: 10, Y0: 10, X1: 50, Y1: 30}, 1)
+	res, err := Optimize(Options{
+		Process: p, TileSize: 64, Halo: 12,
+		Stages: []core.Stage{{Scale: 2, Iters: 2}}, SkipEmpty: true, Workers: 2,
+	}, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	ran := 0
+	for _, s := range res.TileSeconds {
+		if s > 0 {
+			ran++
+		}
+		sum += s
+	}
+	if ran != res.TilesRun {
+		t.Errorf("%d tiles with recorded time, %d reported run", ran, res.TilesRun)
+	}
+	if diff := sum - res.ILTSeconds; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("sum of TileSeconds %g != ILTSeconds %g", sum, res.ILTSeconds)
+	}
+	if res.WallSeconds <= 0 {
+		t.Error("WallSeconds not recorded")
+	}
+}
+
 func TestConfigureHookApplies(t *testing.T) {
 	p := process(t)
 	tgt := grid.NewMat(64, 64)

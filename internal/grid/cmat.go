@@ -87,6 +87,20 @@ func (m *CMat) AbsSq() *Mat {
 	return out
 }
 
+// AbsSqScaledInto overwrites dst with a*|m|² element-wise. The arithmetic
+// per element is exactly that of AddAbsSqScaled minus the accumulation, so
+// a deferred dst.Add of the result reproduces the fused loop bit-for-bit —
+// the property the parallel SOCS reduction in internal/litho relies on.
+func (m *CMat) AbsSqScaledInto(dst *Mat, a float64) {
+	if m.W != dst.W || m.H != dst.H {
+		panic(fmt.Sprintf("grid: shape mismatch %dx%d vs %dx%d", m.W, m.H, dst.W, dst.H))
+	}
+	for i, v := range m.Data {
+		re, im := real(v), imag(v)
+		dst.Data[i] = a * (re*re + im*im)
+	}
+}
+
 // AddAbsSqScaled accumulates dst += a*|m|² element-wise into dst.
 func (m *CMat) AddAbsSqScaled(dst *Mat, a float64) {
 	if m.W != dst.W || m.H != dst.H {

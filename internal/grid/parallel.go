@@ -6,9 +6,21 @@ import (
 )
 
 // ParallelFor runs body(i) for i in [0, n) across up to workers goroutines.
-// workers ≤ 0 selects runtime.GOMAXPROCS(0). Iterations are split into
-// contiguous chunks, so body should be roughly uniform in cost per index.
+// workers ≤ 0 selects runtime.GOMAXPROCS(0); n ≤ 0 is a no-op. Iterations
+// are split into contiguous chunks, so body should be roughly uniform in
+// cost per index.
+//
+// Panic semantics: a panic inside body does not crash the process from a
+// worker goroutine. Every worker first finishes its own chunk (a panicking
+// index abandons only the rest of that worker's chunk); once all workers
+// have returned, the first recovered panic value (in worker order) is
+// re-raised on the calling goroutine, so a ParallelFor call panics exactly
+// like the equivalent serial loop would. With workers == 1 the body runs on
+// the calling goroutine and panics propagate natively.
 func ParallelFor(workers, n int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -23,6 +35,7 @@ func ParallelFor(workers, n int, body func(i int)) {
 	}
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
+	panics := make([]any, workers) // one slot per worker: no shared writes
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		if lo >= n {
@@ -33,12 +46,22 @@ func ParallelFor(workers, n int, body func(i int)) {
 			hi = n
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[w] = r
+				}
+			}()
 			for i := lo; i < hi; i++ {
 				body(i)
 			}
-		}(lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
+	for _, r := range panics {
+		if r != nil {
+			panic(r)
+		}
+	}
 }

@@ -1,8 +1,10 @@
 package grid
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -94,6 +96,116 @@ func TestSmoothPoolMassViaAdjointProperty(t *testing.T) {
 		lhs := SmoothPool(x, 3).Dot(ones)
 		rhs := x.Dot(SmoothPoolAdjoint(ones, 3))
 		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// ParallelFor edge cases: n = 0 (and negative n) never invoke the body.
+func TestParallelForEmptyRange(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		for _, workers := range []int{0, 1, 4} {
+			called := false
+			ParallelFor(workers, n, func(int) { called = true })
+			if called {
+				t.Errorf("body invoked for n=%d workers=%d", n, workers)
+			}
+		}
+	}
+}
+
+// More workers than indices must still cover each index exactly once.
+func TestParallelForMoreWorkersThanWork(t *testing.T) {
+	const n = 3
+	counts := make([]int32, n)
+	ParallelFor(64, n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+	for i, c := range counts {
+		if c != 1 {
+			t.Errorf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+// A panic in the body surfaces as a panic on the calling goroutine with the
+// original panic value, for both the serial and the parallel path, and the
+// workers that did not panic still complete their chunks.
+func TestParallelForPanicPropagation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		sentinel := fmt.Sprintf("boom-%d", workers)
+		var visited int32
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic swallowed", workers)
+				}
+				if r != sentinel {
+					t.Fatalf("workers=%d: recovered %v, want %v", workers, r, sentinel)
+				}
+			}()
+			ParallelFor(workers, 16, func(i int) {
+				if i == 5 {
+					panic(sentinel)
+				}
+				atomic.AddInt32(&visited, 1)
+			})
+		}()
+		if workers > 1 && atomic.LoadInt32(&visited) < 8 {
+			// 16 indices in 4 chunks of 4; only the panicking chunk may be
+			// cut short, so at least the other 12 minus scheduling slack ran.
+			t.Errorf("workers=%d: only %d indices ran before re-panic", workers, visited)
+		}
+	}
+}
+
+// The scratch arenas hand out matrices of the requested size and recycle
+// buffers across Get/Put cycles without corrupting shape bookkeeping.
+func TestScratchPoolsShapeAndReuse(t *testing.T) {
+	var cp CMatPool
+	var mp MatPool
+	c := cp.Get(8, 4)
+	if c.W != 8 || c.H != 4 || len(c.Data) != 32 {
+		t.Fatalf("CMatPool.Get(8,4) returned %dx%d len %d", c.W, c.H, len(c.Data))
+	}
+	c.Data[0] = 3 + 4i
+	cp.Put(c)
+	c2 := cp.Get(8, 4)
+	if c2.W != 8 || c2.H != 4 {
+		t.Fatalf("recycled CMat has shape %dx%d", c2.W, c2.H)
+	}
+	m := mp.Get(5, 7)
+	if m.W != 5 || m.H != 7 {
+		t.Fatalf("MatPool.Get(5,7) returned %dx%d", m.W, m.H)
+	}
+	mp.Put(m)
+	if g := mp.Get(3, 3); g.W != 3 || g.H != 3 {
+		t.Fatalf("distinct size returned %dx%d, want 3x3", g.W, g.H)
+	}
+	cp.Put(nil) // nil is ignored
+	mp.Put(nil)
+}
+
+// AbsSqScaledInto followed by Add must reproduce AddAbsSqScaled bit-for-bit
+// — this identity is what makes the parallel SOCS reduction exact.
+func TestAbsSqScaledIntoMatchesFusedAccumulation(t *testing.T) {
+	f := func(seed int64, a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCMat(6, 6)
+		for i := range c.Data {
+			c.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		base := randMat(rng, 6, 6)
+		fused := base.Clone()
+		c.AddAbsSqScaled(fused, a)
+		tmp := NewMat(6, 6)
+		c.AbsSqScaledInto(tmp, a)
+		deferred := base.Clone()
+		deferred.Add(tmp)
+		return fused.Equal(deferred, 0)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)

@@ -1,0 +1,75 @@
+package grid
+
+import "sync"
+
+// Scratch arenas for the hot simulation loops: size-keyed free lists of
+// matrix buffers backed by sync.Pool, so parallel per-kernel workers can
+// grab private scratch without allocating once the pool is warm. Contents
+// of a recycled buffer are undefined — callers that need zeroed memory must
+// clear it (fft.ApplyKernel and friends overwrite their destination and do
+// not care).
+//
+// The zero value of either pool is ready to use, and all methods are safe
+// for concurrent use.
+
+// CMatPool recycles complex scratch matrices by (w, h).
+type CMatPool struct {
+	pools sync.Map // uint64 key → *sync.Pool of *CMat
+}
+
+func sizeKey(w, h int) uint64 { return uint64(uint32(w))<<32 | uint64(uint32(h)) }
+
+func (p *CMatPool) pool(w, h int) *sync.Pool {
+	key := sizeKey(w, h)
+	if v, ok := p.pools.Load(key); ok {
+		return v.(*sync.Pool)
+	}
+	v, _ := p.pools.LoadOrStore(key, &sync.Pool{
+		New: func() any { return NewCMat(w, h) },
+	})
+	return v.(*sync.Pool)
+}
+
+// Get returns a w×h complex matrix with undefined contents.
+func (p *CMatPool) Get(w, h int) *CMat {
+	return p.pool(w, h).Get().(*CMat)
+}
+
+// Put returns a matrix obtained from Get to the arena. The caller must not
+// use m afterwards. Putting a matrix that did not come from Get is allowed
+// (it joins the pool for its size); nil is ignored.
+func (p *CMatPool) Put(m *CMat) {
+	if m == nil {
+		return
+	}
+	p.pool(m.W, m.H).Put(m)
+}
+
+// MatPool recycles real scratch matrices by (w, h).
+type MatPool struct {
+	pools sync.Map // uint64 key → *sync.Pool of *Mat
+}
+
+func (p *MatPool) pool(w, h int) *sync.Pool {
+	key := sizeKey(w, h)
+	if v, ok := p.pools.Load(key); ok {
+		return v.(*sync.Pool)
+	}
+	v, _ := p.pools.LoadOrStore(key, &sync.Pool{
+		New: func() any { return NewMat(w, h) },
+	})
+	return v.(*sync.Pool)
+}
+
+// Get returns a w×h real matrix with undefined contents.
+func (p *MatPool) Get(w, h int) *Mat {
+	return p.pool(w, h).Get().(*Mat)
+}
+
+// Put returns a matrix obtained from Get to the arena; nil is ignored.
+func (p *MatPool) Put(m *Mat) {
+	if m == nil {
+		return
+	}
+	p.pool(m.W, m.H).Put(m)
+}

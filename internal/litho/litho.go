@@ -11,11 +11,20 @@
 // kernels makes the aerial intensity invariant across resolution levels —
 // the same I_th applies at every scale factor, exactly as Algorithm 1
 // assumes.
+//
+// Concurrency (see DESIGN.md, "Concurrency model"): the per-kernel SOCS
+// loops of Forward, ForwardEq7 and Gradient fan out across Workers
+// goroutines with pool-backed private scratch, and every cross-kernel
+// reduction is a strictly k-ordered fold of precomputed per-kernel
+// contributions — so the result is bit-identical for every worker count,
+// including the serial path.
 package litho
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fft"
 	"repro/internal/grid"
@@ -26,7 +35,25 @@ import (
 // optical model. It is safe for concurrent use.
 type Sim struct {
 	Model *optics.Model
-	plans sync.Map // int → *fft.Plan2
+	// Workers bounds the per-kernel fan-out of the SOCS loops; ≤ 0 selects
+	// runtime.GOMAXPROCS(0). Results are bit-identical for every value.
+	// Set it before sharing the Sim across goroutines.
+	Workers int
+
+	plans      sync.Map // int → *planEntry
+	planBuilds atomic.Int32
+
+	cscratch grid.CMatPool // complex per-worker scratch (amplitudes, spectra)
+	mscratch grid.MatPool  // real per-kernel intensity contributions
+}
+
+// planEntry is the singleflight slot for one plan size: concurrent first
+// calls for the same size share one construction instead of each building a
+// Plan2 and discarding all but one.
+type planEntry struct {
+	once sync.Once
+	plan *fft.Plan2
+	err  error
 }
 
 // NewSim creates a simulator over a built kernel model.
@@ -34,17 +61,32 @@ func NewSim(model *optics.Model) *Sim {
 	return &Sim{Model: model}
 }
 
-// Plan returns (building if needed) the 2-D FFT plan for size m.
+// Plan returns (building if needed) the 2-D FFT plan for size m. Plan
+// construction happens exactly once per size, no matter how many goroutines
+// ask concurrently.
 func (s *Sim) Plan(m int) (*fft.Plan2, error) {
-	if v, ok := s.plans.Load(m); ok {
-		return v.(*fft.Plan2), nil
+	v, ok := s.plans.Load(m)
+	if !ok {
+		v, _ = s.plans.LoadOrStore(m, &planEntry{})
 	}
-	p, err := fft.NewPlan2(m, m)
-	if err != nil {
-		return nil, err
+	e := v.(*planEntry)
+	e.once.Do(func() {
+		s.planBuilds.Add(1)
+		e.plan, e.err = fft.NewPlan2(m, m)
+	})
+	return e.plan, e.err
+}
+
+// kernelWorkers resolves the effective fan-out for a k-kernel loop.
+func (s *Sim) kernelWorkers(k int) int {
+	w := s.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
 	}
-	actual, _ := s.plans.LoadOrStore(m, p)
-	return actual.(*fft.Plan2), nil
+	if w > k {
+		w = k
+	}
+	return w
 }
 
 // Field is the retained state of one forward simulation, sufficient to run
@@ -73,6 +115,69 @@ func (s *Sim) checkMask(mask *grid.Mat, p int) error {
 	return nil
 }
 
+// accumulateSOCS runs the per-kernel SOCS loop shared by Forward and
+// ForwardEq7: amplitude A_k = F⁻¹(scale·H_k ⊙ spec) at size m, intensity
+// += dose·w_k·|A_k|². The amplitude work fans out across kernelWorkers
+// goroutines; each kernel's intensity contribution lands in a pooled
+// private buffer and the final fold into f.Intensity runs on the calling
+// goroutine in ascending k — the floating-point reduction order is fixed,
+// so any worker count produces the same bits.
+func (s *Sim) accumulateSOCS(f *Field, plan *fft.Plan2, spec *grid.CMat, m int, scale complex128, keepAmps bool) {
+	ks := f.KS
+	nk := len(ks.Kernels)
+	workers := s.kernelWorkers(nk)
+
+	if workers <= 1 {
+		// Serial fast path: one amplitude buffer and one contribution buffer
+		// recycled across all kernels — O(1) scratch at any grid size.
+		contrib := s.mscratch.Get(m, m)
+		var buf *grid.CMat
+		if !keepAmps {
+			buf = s.cscratch.Get(m, m)
+		}
+		for k, h := range ks.Kernels {
+			var amp *grid.CMat
+			if keepAmps {
+				amp = fft.ApplyKernel(nil, spec, h, m, scale)
+				f.Amps[k] = amp
+			} else {
+				amp = fft.ApplyKernel(buf, spec, h, m, scale)
+			}
+			plan.Inverse(amp)
+			amp.AbsSqScaledInto(contrib, f.Dose*ks.Weights[k])
+			f.Intensity.Add(contrib)
+		}
+		if buf != nil {
+			s.cscratch.Put(buf)
+		}
+		s.mscratch.Put(contrib)
+		return
+	}
+
+	contribs := make([]*grid.Mat, nk)
+	grid.ParallelFor(workers, nk, func(k int) {
+		h := ks.Kernels[k]
+		var amp *grid.CMat
+		if keepAmps {
+			amp = fft.ApplyKernel(nil, spec, h, m, scale)
+			f.Amps[k] = amp
+		} else {
+			amp = fft.ApplyKernel(s.cscratch.Get(m, m), spec, h, m, scale)
+		}
+		plan.Inverse(amp)
+		c := s.mscratch.Get(m, m)
+		amp.AbsSqScaledInto(c, f.Dose*ks.Weights[k])
+		contribs[k] = c
+		if !keepAmps {
+			s.cscratch.Put(amp)
+		}
+	})
+	for _, c := range contribs {
+		f.Intensity.Add(c)
+		s.mscratch.Put(c)
+	}
+}
+
 // Forward runs the exact SOCS simulation (Eq. 3) of the mask at its own
 // resolution: I = dose · Σ_k w_k |F⁻¹(H_k ⊙ F(M))|². With a mask already
 // downsampled by the caller this is exactly Eq. (8) of the paper — the
@@ -94,18 +199,7 @@ func (s *Sim) Forward(mask *grid.Mat, ks *optics.KernelSet, dose float64, keepAm
 	if keepAmps {
 		f.Amps = make([]*grid.CMat, len(ks.Kernels))
 	}
-	var buf *grid.CMat
-	for k, h := range ks.Kernels {
-		amp := fft.ApplyKernel(buf, spec, h, m, 1)
-		buf = nil
-		plan.Inverse(amp)
-		amp.AddAbsSqScaled(f.Intensity, dose*ks.Weights[k])
-		if keepAmps {
-			f.Amps[k] = amp
-		} else {
-			buf = amp // reuse the allocation for the next kernel
-		}
-	}
+	s.accumulateSOCS(f, plan, spec, m, 1, keepAmps)
 	return f, nil
 }
 
@@ -145,13 +239,7 @@ func (s *Sim) ForwardEq7(mask *grid.Mat, scale int, ks *optics.KernelSet, dose f
 
 	f := &Field{M: m, Spec: spec, Dose: dose, KS: ks, Intensity: grid.NewMat(m, m)}
 	sc := complex(1/float64(scale*scale), 0)
-	var buf *grid.CMat
-	for k, h := range ks.Kernels {
-		amp := fft.ApplyKernel(buf, spec, h, m, sc)
-		planM.Inverse(amp)
-		amp.AddAbsSqScaled(f.Intensity, dose*ks.Weights[k])
-		buf = amp
-	}
+	s.accumulateSOCS(f, planM, spec, m, sc, false)
 	return f, nil
 }
 
@@ -161,8 +249,10 @@ func (s *Sim) ForwardEq7(mask *grid.Mat, scale int, ks *optics.KernelSet, dose f
 //	dL/dM = Σ_k 2·w_k·dose · Re[ F⁻¹( conj(H_k) ⊙ F( dLdI ⊙ A_k ) ) ].
 //
 // Amplitudes are taken from the field when kept, otherwise recomputed from
-// the retained mask spectrum. The kernel-adjoint products are accumulated in
-// the frequency domain so only one final inverse FFT is needed.
+// the retained mask spectrum. The kernel-adjoint products are computed in
+// parallel as dense P×P patches and folded into the frequency-domain
+// accumulator in ascending k, so only one final inverse FFT is needed and
+// the result is bit-identical for every worker count.
 func (s *Sim) Gradient(f *Field, dLdI *grid.Mat) (*grid.Mat, error) {
 	if dLdI.W != f.M || dLdI.H != f.M {
 		return nil, fmt.Errorf("litho: dLdI size %dx%d != field size %d", dLdI.W, dLdI.H, f.M)
@@ -176,26 +266,41 @@ func (s *Sim) Gradient(f *Field, dLdI *grid.Mat) (*grid.Mat, error) {
 	if err != nil {
 		return nil, err
 	}
-	acc := grid.NewCMat(f.M, f.M)
-	var ampBuf, prodBuf *grid.CMat
-	prodBuf = grid.NewCMat(f.M, f.M)
-	for k, h := range f.KS.Kernels {
+	nk := len(f.KS.Kernels)
+	p := f.KS.P
+	patches := make([]*grid.CMat, nk)
+	grid.ParallelFor(s.kernelWorkers(nk), nk, func(k int) {
+		h := f.KS.Kernels[k]
 		var amp *grid.CMat
+		recomputed := false
 		if f.Amps != nil {
 			amp = f.Amps[k]
 		} else {
-			amp = fft.ApplyKernel(ampBuf, f.Spec, h, f.M, 1)
-			ampBuf = amp
+			amp = fft.ApplyKernel(s.cscratch.Get(f.M, f.M), f.Spec, h, f.M, 1)
 			plan.Inverse(amp)
+			recomputed = true
 		}
 		// B_k = dLdI ⊙ A_k
+		prod := s.cscratch.Get(f.M, f.M)
 		for i, v := range amp.Data {
-			prodBuf.Data[i] = v * complex(dLdI.Data[i], 0)
+			prod.Data[i] = v * complex(dLdI.Data[i], 0)
 		}
-		plan.Forward(prodBuf)
+		if recomputed {
+			s.cscratch.Put(amp)
+		}
+		plan.Forward(prod)
 		w := complex(2*f.KS.Weights[k]*f.Dose, 0)
-		fft.AccumulateKernelAdjoint(acc, prodBuf, h, w)
+		patches[k] = fft.KernelAdjointPatch(s.cscratch.Get(p, p), prod, h, w)
+		s.cscratch.Put(prod)
+	})
+	acc := s.cscratch.Get(f.M, f.M)
+	acc.Zero()
+	for _, patch := range patches {
+		fft.AddKernelPatch(acc, patch)
+		s.cscratch.Put(patch)
 	}
 	plan.Inverse(acc)
-	return acc.Real(), nil
+	out := acc.Real()
+	s.cscratch.Put(acc)
+	return out, nil
 }

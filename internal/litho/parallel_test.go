@@ -1,0 +1,217 @@
+package litho
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// workerSweep is the worker-count grid of the equivalence tests: the serial
+// path, an even split, a count that does not divide the kernel count, and
+// whatever the host offers.
+func workerSweep() []int {
+	return []int{1, 2, 7, runtime.GOMAXPROCS(0)}
+}
+
+// TestParallelForwardMatchesSerial: the parallel SOCS loop must reproduce
+// the serial path bit-for-bit — the reduction into the intensity is a fixed
+// k-ordered fold regardless of the fan-out — for every grid size, worker
+// count and keepAmps mode.
+func TestParallelForwardMatchesSerial(t *testing.T) {
+	mdl := model(t)
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{64, 128, 256} {
+		mask := randMask(rng, n)
+		for _, keep := range []bool{false, true} {
+			ref := NewSim(mdl)
+			ref.Workers = 1
+			want, err := ref.Forward(mask, mdl.Nominal, 1.02, keep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workerSweep() {
+				sim := NewSim(mdl)
+				sim.Workers = w
+				got, err := sim.Forward(mask, mdl.Nominal, 1.02, keep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Intensity.Equal(want.Intensity, 0) {
+					t.Errorf("n=%d workers=%d keep=%v: intensity differs from serial", n, w, keep)
+				}
+				if keep {
+					if len(got.Amps) != len(want.Amps) {
+						t.Fatalf("n=%d workers=%d: %d amps, want %d", n, w, len(got.Amps), len(want.Amps))
+					}
+					for k := range want.Amps {
+						if got.Amps[k].MaxAbsDiff(want.Amps[k]) != 0 {
+							t.Errorf("n=%d workers=%d: amplitude %d differs from serial", n, w, k)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelForwardEq7MatchesSerial: same bit-identity for the truncated
+// Eq. (7) forward path.
+func TestParallelForwardEq7MatchesSerial(t *testing.T) {
+	mdl := model(t)
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{128, 256} {
+		mask := randMask(rng, n)
+		ref := NewSim(mdl)
+		ref.Workers = 1
+		want, err := ref.ForwardEq7(mask, 2, mdl.Nominal, 0.98)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerSweep() {
+			sim := NewSim(mdl)
+			sim.Workers = w
+			got, err := sim.ForwardEq7(mask, 2, mdl.Nominal, 0.98)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Intensity.Equal(want.Intensity, 0) {
+				t.Errorf("n=%d workers=%d: Eq7 intensity differs from serial", n, w)
+			}
+		}
+	}
+}
+
+// TestParallelGradientMatchesSerial: the adjoint pass must be bit-identical
+// across worker counts for both the cached-amplitude and recompute paths.
+func TestParallelGradientMatchesSerial(t *testing.T) {
+	mdl := model(t)
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{64, 128, 256} {
+		mask := randMask(rng, n)
+		dLdI := randMask(rng, n)
+		for _, keep := range []bool{false, true} {
+			ref := NewSim(mdl)
+			ref.Workers = 1
+			fRef, err := ref.Forward(mask, mdl.Nominal, 1, keep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ref.Gradient(fRef, dLdI)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workerSweep() {
+				sim := NewSim(mdl)
+				sim.Workers = w
+				f, err := sim.Forward(mask, mdl.Nominal, 1, keep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := sim.Gradient(f, dLdI)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want, 0) {
+					t.Errorf("n=%d workers=%d keep=%v: gradient differs from serial", n, w, keep)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanSingleflight: concurrent first calls for one size must construct
+// exactly one plan (the duplicate-work race the old LoadOrStore cache had)
+// and all callers must see the same instance.
+func TestPlanSingleflight(t *testing.T) {
+	sim := NewSim(model(t))
+	const goroutines = 32
+	plans := make([]any, goroutines)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			p, err := sim.Plan(64)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			plans[g] = p
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	if builds := sim.planBuilds.Load(); builds != 1 {
+		t.Errorf("%d plan constructions for one size, want exactly 1", builds)
+	}
+	for g := 1; g < goroutines; g++ {
+		if plans[g] != plans[0] {
+			t.Fatalf("goroutine %d got a different plan instance", g)
+		}
+	}
+	// A second size builds exactly one more.
+	if _, err := sim.Plan(32); err != nil {
+		t.Fatal(err)
+	}
+	if builds := sim.planBuilds.Load(); builds != 2 {
+		t.Errorf("%d total constructions after second size, want 2", builds)
+	}
+}
+
+// TestConcurrentForwardStress hammers one shared Sim from many goroutines
+// with mixed sizes and keepAmps modes — primarily a race-detector target
+// for the plan cache and the scratch arenas — and checks every result
+// against serial references.
+func TestConcurrentForwardStress(t *testing.T) {
+	mdl := model(t)
+	sim := NewSim(mdl)
+	sim.Workers = 2
+
+	rng := rand.New(rand.NewSource(14))
+	masks := map[int]*grid.Mat{64: randMask(rng, 64), 128: randMask(rng, 128)}
+	refs := make(map[int]*grid.Mat)
+	for n, m := range masks {
+		ref := NewSim(mdl)
+		ref.Workers = 1
+		f, err := ref.Forward(m, mdl.Nominal, 1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[n] = f.Intensity
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 64
+			if g%2 == 1 {
+				n = 128
+			}
+			for it := 0; it < 3; it++ {
+				keep := (g+it)%2 == 0
+				f, err := sim.Forward(masks[n], mdl.Nominal, 1, keep)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !f.Intensity.Equal(refs[n], 0) {
+					t.Errorf("goroutine %d: concurrent forward at n=%d diverged", g, n)
+					return
+				}
+				if _, err := sim.Plan(256); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

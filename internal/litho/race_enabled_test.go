@@ -1,0 +1,8 @@
+//go:build race
+
+package litho
+
+// raceEnabled reports whether the race detector is compiled in. Under -race,
+// sync.Pool deliberately bypasses its cache at random, so allocation-count
+// assertions are not meaningful there.
+const raceEnabled = true
