@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-workers vet
+.PHONY: all build test race trace-smoke bench bench-workers vet
 
 all: build test
 
@@ -15,6 +15,17 @@ test:
 # dedicated stress/equivalence tests that only bite with -race on.
 race:
 	$(GO) test -race ./...
+
+# Observability lane (runs alongside race): a small end-to-end iltopt run
+# with tracing on, then tracecheck re-validates the JSONL schema, the
+# phase-timer wall-clock coverage and the run manifest.
+trace-smoke:
+	mkdir -p artifacts
+	$(GO) run ./cmd/iltopt -case 1 -n 256 -field 1024 -kernels 12 -iterdiv 10 \
+		-recipe exact -trace artifacts/trace_smoke.jsonl -progress \
+		-manifest artifacts/trace_smoke_manifest.json
+	$(GO) run ./cmd/tracecheck -trace artifacts/trace_smoke.jsonl \
+		-manifest artifacts/trace_smoke_manifest.json
 
 vet:
 	$(GO) vet ./...

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/imgio"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func run() error {
 	sweepWorkers := flag.String("workers", "1,2,4,8", "comma-separated worker counts (with -sweep)")
 	sweepReps := flag.Int("reps", 3, "timed repetitions per sweep point (with -sweep)")
 	kernels := flag.Int("kernels", 24, "number of SOCS kernels (with -sweep)")
+	manifestPath := flag.String("manifest", "", "write a run manifest (suite config + host + git revision) to this path")
 	flag.Parse()
 
 	if *sweep {
@@ -93,6 +95,19 @@ func run() error {
 		}
 		fmt.Printf("%s: %d shapes, %.0f nm² (paper target %.0f nm²) → %s\n",
 			c.Name, c.Layout.ShapeCount(), c.AreaNM2, c.PaperAreaNM2, path)
+	}
+
+	if *manifestPath != "" {
+		man := telemetry.NewManifest("benchgen", map[string]any{
+			"suite": *suite, "n": *n, "field_nm": *field,
+			"count": *count, "out": *out, "png": *png,
+		})
+		man.SetMetric("cases", float64(len(cases)))
+		man.Finish(nil)
+		if err := man.Write(*manifestPath); err != nil {
+			return err
+		}
+		fmt.Printf("manifest: %s\n", *manifestPath)
 	}
 	return nil
 }

@@ -6,7 +6,11 @@
 //	iltopt -via 3 -recipe via               # synthetic via pattern
 //	iltopt -case 1 -recipe levelset         # baseline comparison
 //
-// With -out PREFIX it writes PREFIX_mask.png/.glp and PREFIX_wafer.png.
+// With -out PREFIX it writes PREFIX_mask.png/.glp and PREFIX_wafer.png plus
+// a PREFIX_manifest.json run manifest. Observability flags: -trace FILE
+// streams per-iteration JSONL events, -progress prints a live console
+// summary, -debug-addr serves net/http/pprof and expvar, and -manifest
+// forces the manifest path.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"repro/internal/mask"
 	"repro/internal/metrics"
 	"repro/internal/post"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -51,6 +56,10 @@ func run() error {
 	tvLambda := flag.Float64("tv", 0, "total-variation mask-complexity penalty weight")
 	curvLambda := flag.Float64("curvature", 0, "curvature penalty weight")
 	polygons := flag.Bool("polygons", false, "write the mask layout as traced polygons instead of fractured rectangles")
+	trace := flag.String("trace", "", "write per-iteration JSONL trace events to this file")
+	progress := flag.Bool("progress", false, "print live per-stage/per-iteration progress to stderr")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	manifestPath := flag.String("manifest", "", "run-manifest path (default <out>_manifest.json when -out is set)")
 	flag.Parse()
 
 	cfg.N = *n
@@ -58,6 +67,37 @@ func run() error {
 	cfg.Kernels = *kernels
 	cfg.IterDiv = *iterdiv
 	cfg.Workers = *workers
+
+	// The recorder exists whenever any observability output is requested;
+	// instrumented code paths see a nil recorder otherwise and cost nothing.
+	if *manifestPath == "" && *out != "" {
+		*manifestPath = *out + "_manifest.json"
+	}
+	var rec *telemetry.Recorder
+	if *trace != "" || *progress || *debugAddr != "" || *manifestPath != "" {
+		var topts []telemetry.Option
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				return err
+			}
+			topts = append(topts, telemetry.WithTrace(f))
+		}
+		if *progress {
+			topts = append(topts, telemetry.WithConsole(os.Stderr))
+		}
+		rec = telemetry.New(topts...)
+		defer rec.Close()
+	}
+	if *debugAddr != "" {
+		addr, stop, err := telemetry.ServeDebug(*debugAddr, rec)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars (pprof under /debug/pprof/)\n", addr)
+	}
+	cfg.Recorder = rec
 
 	target, name, err := loadTarget(cfg, *layoutPath, *caseIdx, *viaIdx)
 	if err != nil {
@@ -67,6 +107,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	rec.Emit("run.start", telemetry.Fields{
+		"tool": "iltopt", "name": name, "recipe": *recipe,
+		"n": cfg.N, "field_nm": cfg.FieldNM, "kernels": cfg.Kernels,
+		"iterdiv": cfg.IterDiv, "workers": cfg.Workers,
+	})
 
 	var region *grid.Mat
 	if *regionOpt != 0 {
@@ -106,6 +151,7 @@ func run() error {
 		opts.Patience = patience
 		opts.Momentum = *momentum
 		opts.LineSearch = *lineSearch
+		opts.Recorder = rec
 		if *tvLambda > 0 {
 			opts.Penalties = append(opts.Penalties, core.TVPenalty{Lambda: *tvLambda})
 		}
@@ -120,7 +166,9 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		sp := rec.StartSpan("post.clean")
 		cleaned := post.Clean(res.Mask, target, post.DefaultOptions(cfg.PixelNM()))
+		sp.End()
 		finalMask, iltSec = cleaned.Mask, res.ILTSeconds
 		fmt.Printf("%s: %d iterations, ILT %.2fs, post %.3fs (%d shapes removed, %d rectangularized)\n",
 			*recipe, res.Iterations, res.ILTSeconds, cleaned.Seconds, cleaned.RemovedShapes, cleaned.Rectangularized)
@@ -142,7 +190,7 @@ func run() error {
 		finalMask, iltSec = res.Mask, res.ILTSeconds
 	case "levelset":
 		res, err := baselines.LevelSetILT(baselines.LevelSetOptions{
-			Process: p, Iters: iters, Region: region,
+			Process: p, Iters: iters, Region: region, Recorder: rec,
 		}, target)
 		if err != nil {
 			return err
@@ -153,13 +201,21 @@ func run() error {
 	}
 
 	spacing, thr := cfg.EPEParams()
+	sp := rec.StartSpan("metrics.evaluate")
 	rep, err := metrics.Evaluate(p, finalMask, target, spacing, thr)
+	sp.End()
 	if err != nil {
 		return err
 	}
 	rep = rep.Scale(cfg.PixelNM())
 	fmt.Printf("%s  L2 %.0f nm²  PVB %.0f nm²  EPE %d  #shots %d  ILT %.2fs\n",
 		name, rep.L2, rep.PVB, rep.EPE, rep.Shots, iltSec)
+	rec.Emit("run.end", telemetry.Fields{
+		"wall_sec": rec.Elapsed(), "ilt_sec": iltSec,
+		"l2": rep.L2, "pvb": rep.PVB, "epe": rep.EPE, "shots": rep.Shots,
+		"summary": fmt.Sprintf("%s L2 %.0f PVB %.0f EPE %d shots %d ILT %.2fs",
+			name, rep.L2, rep.PVB, rep.EPE, rep.Shots, iltSec),
+	})
 
 	if *out != "" {
 		if err := imgio.WritePNG(*out+"_mask.png", finalMask); err != nil {
@@ -182,6 +238,25 @@ func run() error {
 			return err
 		}
 		fmt.Printf("artifacts: %s_mask.png %s_wafer.png %s_mask.glp\n", *out, *out, *out)
+	}
+
+	if *manifestPath != "" {
+		man := telemetry.NewManifest("iltopt", map[string]any{
+			"name": name, "recipe": *recipe, "n": cfg.N, "field_nm": cfg.FieldNM,
+			"kernels": cfg.Kernels, "iterdiv": cfg.IterDiv, "workers": cfg.Workers,
+			"region": *regionOpt, "momentum": *momentum, "linesearch": *lineSearch,
+			"tv": *tvLambda, "curvature": *curvLambda,
+		})
+		man.SetMetric("l2_nm2", rep.L2)
+		man.SetMetric("pvb_nm2", rep.PVB)
+		man.SetMetric("epe", float64(rep.EPE))
+		man.SetMetric("shots", float64(rep.Shots))
+		man.SetMetric("ilt_sec", iltSec)
+		man.Finish(rec)
+		if err := man.Write(*manifestPath); err != nil {
+			return err
+		}
+		fmt.Printf("manifest: %s\n", *manifestPath)
 	}
 	return nil
 }

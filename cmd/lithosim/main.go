@@ -17,6 +17,7 @@ import (
 	"repro/internal/imgio"
 	"repro/internal/layout"
 	"repro/internal/litho"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -38,12 +39,41 @@ func run() error {
 	scale := flag.Int("scale", 4, "scale factor for -eq 7/8")
 	corner := flag.String("corner", "nominal", "process corner: nominal | inner | outer")
 	out := flag.String("out", "", "output prefix for aerial/wafer PNGs")
+	trace := flag.String("trace", "", "write JSONL trace events (run + phase timers) to this file")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address")
+	manifestPath := flag.String("manifest", "", "run-manifest path (default <out>_manifest.json when -out is set)")
 	flag.Parse()
 
 	cfg.N = *n
 	cfg.FieldNM = *field
 	cfg.Kernels = *kernels
 	cfg.Workers = *workers
+
+	if *manifestPath == "" && *out != "" {
+		*manifestPath = *out + "_manifest.json"
+	}
+	var rec *telemetry.Recorder
+	if *trace != "" || *debugAddr != "" || *manifestPath != "" {
+		var topts []telemetry.Option
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				return err
+			}
+			topts = append(topts, telemetry.WithTrace(f))
+		}
+		rec = telemetry.New(topts...)
+		defer rec.Close()
+	}
+	if *debugAddr != "" {
+		addr, stop, err := telemetry.ServeDebug(*debugAddr, rec)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars (pprof under /debug/pprof/)\n", addr)
+	}
+	cfg.Recorder = rec
 
 	var maskImg *grid.Mat
 	switch {
@@ -82,6 +112,11 @@ func run() error {
 		return fmt.Errorf("unknown corner %q", *corner)
 	}
 
+	rec.Emit("run.start", telemetry.Fields{
+		"tool": "lithosim", "eq": *eq, "corner": *corner, "scale": *scale,
+		"n": cfg.N, "field_nm": cfg.FieldNM, "kernels": cfg.Kernels, "workers": cfg.Workers,
+	})
+
 	var f *litho.Field
 	switch *eq {
 	case 3:
@@ -102,6 +137,11 @@ func run() error {
 	min, max := f.Intensity.MinMax()
 	fmt.Printf("Eq.(%d) at %s corner (dose %.2f): grid %d, intensity [%.4f, %.4f], printed area %.0f px²\n",
 		*eq, c.Name, c.Dose, f.M, min, max, wafer.Sum())
+	rec.Emit("run.end", telemetry.Fields{
+		"wall_sec": rec.Elapsed(),
+		"summary": fmt.Sprintf("Eq.(%d) %s dose %.2f: intensity [%.4f, %.4f], printed %.0f px²",
+			*eq, c.Name, c.Dose, min, max, wafer.Sum()),
+	})
 
 	if *out != "" {
 		aerial := f.Intensity.Clone()
@@ -115,6 +155,21 @@ func run() error {
 			return err
 		}
 		fmt.Printf("artifacts: %s_aerial.png %s_wafer.png\n", *out, *out)
+	}
+
+	if *manifestPath != "" {
+		man := telemetry.NewManifest("lithosim", map[string]any{
+			"eq": *eq, "corner": *corner, "scale": *scale, "n": cfg.N,
+			"field_nm": cfg.FieldNM, "kernels": cfg.Kernels, "workers": cfg.Workers,
+		})
+		man.SetMetric("intensity_min", min)
+		man.SetMetric("intensity_max", max)
+		man.SetMetric("printed_px2", wafer.Sum())
+		man.Finish(rec)
+		if err := man.Write(*manifestPath); err != nil {
+			return err
+		}
+		fmt.Printf("manifest: %s\n", *manifestPath)
 	}
 	return nil
 }

@@ -14,9 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +38,8 @@ func run() error {
 	out := flag.String("out", "", "directory for CSV/PNG artifacts (empty = none)")
 	exp := flag.String("exp", "all", "comma-separated experiments, or 'all': "+strings.Join(experiments.Names, ","))
 	verbose := flag.Bool("v", false, "log per-case progress to stderr")
+	trace := flag.String("trace", "", "write JSONL trace events (progress + phase timers) to this file")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address")
 	flag.Parse()
 
 	cfg.N = *n
@@ -44,8 +48,32 @@ func run() error {
 	cfg.IterDiv = *iterdiv
 	cfg.WithBaselines = *baselines
 	cfg.OutDir = *out
+
+	// -v progress now flows through the telemetry console sink (the same
+	// rendering path iltopt -progress uses); cfg.Log stays supported for
+	// library callers.
+	var topts []telemetry.Option
 	if *verbose {
-		cfg.Log = os.Stderr
+		topts = append(topts, telemetry.WithConsole(os.Stderr))
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		topts = append(topts, telemetry.WithTrace(f))
+	}
+	if len(topts) > 0 || *debugAddr != "" || *out != "" {
+		cfg.Recorder = telemetry.New(topts...)
+		defer cfg.Recorder.Close()
+	}
+	if *debugAddr != "" {
+		addr, stop, err := telemetry.ServeDebug(*debugAddr, cfg.Recorder)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars (pprof under /debug/pprof/)\n", addr)
 	}
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -55,16 +83,37 @@ func run() error {
 	if *exp != "all" {
 		names = strings.Split(*exp, ",")
 	}
+	var ran []string
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
+		cfg.Recorder.Emit("run.start", telemetry.Fields{"tool": "mltables", "name": name})
 		t, err := experiments.Run(cfg, name)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Println(t.String())
+		ran = append(ran, name)
+	}
+	cfg.Recorder.Emit("run.end", telemetry.Fields{
+		"wall_sec": cfg.Recorder.Elapsed(),
+		"summary":  fmt.Sprintf("%d experiments: %s", len(ran), strings.Join(ran, ",")),
+	})
+
+	if *out != "" {
+		man := telemetry.NewManifest("mltables", map[string]any{
+			"n": cfg.N, "field_nm": cfg.FieldNM, "kernels": cfg.Kernels,
+			"iterdiv": cfg.IterDiv, "baselines": cfg.WithBaselines,
+			"experiments": strings.Join(ran, ","),
+		})
+		man.Finish(cfg.Recorder)
+		path := filepath.Join(*out, "manifest.json")
+		if err := man.Write(path); err != nil {
+			return err
+		}
+		fmt.Printf("manifest: %s\n", path)
 	}
 	return nil
 }

@@ -1,0 +1,83 @@
+// Command tracecheck validates the observability artifacts a run leaves
+// behind — the JSONL trace stream and the run manifest:
+//
+//	tracecheck -trace run.jsonl -manifest run_manifest.json
+//	tracecheck -trace run.jsonl -min-coverage 0   # schema check only
+//
+// It re-validates the event schema (contiguous seq, non-decreasing ts,
+// required per-event fields, every opened stage covered by iter events) and
+// enforces the phase-timer coverage bound: when the trace reports a run.end
+// wall time, the summed phase seconds must land within the configured band
+// of it. The `make trace-smoke` target runs this after a small iltopt run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	trace := flag.String("trace", "", "JSONL trace file to validate")
+	manifest := flag.String("manifest", "", "run manifest to validate (optional)")
+	minCov := flag.Float64("min-coverage", 0.8, "minimum phase-sec / wall-sec ratio (0 disables the bound)")
+	maxCov := flag.Float64("max-coverage", 1.25, "maximum phase-sec / wall-sec ratio (concurrent phases can exceed 1)")
+	flag.Parse()
+
+	if *trace == "" && *manifest == "" {
+		return fmt.Errorf("nothing to check: pass -trace and/or -manifest")
+	}
+
+	if *trace != "" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			return err
+		}
+		stats, err := telemetry.ValidateTrace(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", *trace, err)
+		}
+		fmt.Printf("%s: %d events, %d iterations over %d stages, %d phases\n",
+			*trace, stats.Events, stats.Iters, len(stats.StagesOpened), stats.Phases)
+		if stats.WallSec > 0 && *minCov > 0 {
+			cov := stats.Coverage()
+			fmt.Printf("phase coverage: %.3fs of %.3fs wall = %.1f%%\n",
+				stats.PhaseSec, stats.WallSec, 100*cov)
+			if cov < *minCov || cov > *maxCov {
+				return fmt.Errorf("%s: phase coverage %.2f outside [%.2f, %.2f]",
+					*trace, cov, *minCov, *maxCov)
+			}
+		}
+	}
+
+	if *manifest != "" {
+		man, err := telemetry.ReadManifest(*manifest)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *manifest, err)
+		}
+		fmt.Printf("%s: tool %s, rev %s, host %s/%s ×%d, %.3fs, %d phases\n",
+			*manifest, man.Tool, shortRev(man.GitRevision), man.Host.OS, man.Host.Arch,
+			man.Host.NumCPU, man.DurationSec, len(man.Phases))
+	}
+	return nil
+}
+
+func shortRev(rev string) string {
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		return rev[:12]
+	}
+	return rev
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/litho"
+	"repro/internal/telemetry"
 )
 
 // dilate/erode are thin aliases keeping call sites compact.
@@ -30,6 +31,10 @@ type LevelSetOptions struct {
 	ReinitEvery int
 	// Region optionally confines evolution (Fig. 7 option 2 in Table III).
 	Region *grid.Mat
+	// Recorder receives per-iteration trace events (the same "iter" schema
+	// as the core optimizer, with stage fixed at 0) and simulator phase
+	// timers. Nil disables telemetry at zero cost.
+	Recorder *telemetry.Recorder
 }
 
 // LevelSetResult mirrors core.Result for the level-set baseline.
@@ -73,6 +78,13 @@ func LevelSetILT(opt LevelSetOptions, target *grid.Mat) (*LevelSetResult, error)
 	}
 
 	p := opt.Process
+	rec := opt.Recorder
+	if rec.Enabled() && p.Sim.Recorder != rec {
+		p.Sim.Recorder = rec
+	}
+	rec.Emit("stage.start", telemetry.Fields{
+		"stage": 0, "scale": 1, "highres": false, "iters": opt.Iters,
+	})
 	start := time.Now()
 	phi := geom.SignedDistance(target)
 	res := &LevelSetResult{}
@@ -82,6 +94,7 @@ func LevelSetILT(opt LevelSetOptions, target *grid.Mat) (*LevelSetResult, error)
 	ztFull := target
 
 	for it := 0; it < opt.Iters; it++ {
+		iterStart := time.Now()
 		if reinit > 0 && it > 0 && it%reinit == 0 {
 			phi = geom.SignedDistance(maskFromPhi(phi, eps).Threshold(0.5))
 		}
@@ -101,6 +114,13 @@ func LevelSetILT(opt LevelSetOptions, target *grid.Mat) (*LevelSetResult, error)
 		if terms.Total() < bestLoss {
 			bestLoss = terms.Total()
 			best.CopyFrom(phi)
+		}
+		if rec.Enabled() { // guard: the Fields literal would allocate per iteration
+			rec.Emit("iter", telemetry.Fields{
+				"stage": 0, "iter": it, "scale": 1,
+				"loss": terms.Total(), "l2": terms.L2, "pvb": terms.PVB, "penalty": terms.Penalty,
+				"step": dt, "retries": 0, "sec": time.Since(iterStart).Seconds(),
+			})
 		}
 
 		dIin := litho.ResistSigmoidGrad(zIn, p.Alpha)
@@ -128,6 +148,10 @@ func LevelSetILT(opt LevelSetOptions, target *grid.Mat) (*LevelSetResult, error)
 		}
 	}
 	res.ILTSeconds = time.Since(start).Seconds()
+	rec.Emit("stage.end", telemetry.Fields{
+		"stage": 0, "iters_run": res.Iterations, "best_loss": bestLoss,
+		"sec": res.ILTSeconds,
+	})
 	final := maskFromPhi(best, eps).Threshold(0.5)
 	if opt.Region != nil {
 		for i, r := range opt.Region.Data {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/litho"
 	"repro/internal/optics"
+	"repro/internal/telemetry"
 )
 
 // Workers sweep: the repo-level BENCH_WORKERS.json artifact tracks the
@@ -34,10 +35,14 @@ type WorkersSweep struct {
 	FieldNM float64 `json:"field_nm"`
 	Kernels int     `json:"kernels"`
 	Reps    int     `json:"reps"`
-	// Host context: speedups above NumCPU are not expected.
-	NumCPU     int          `json:"num_cpu"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Points     []SweepPoint `json:"points"`
+	// Host context: speedups above NumCPU are not expected. NumCPU and
+	// GOMAXPROCS predate the Host block and are kept for artifact
+	// compatibility; Host is the run-manifest host schema, making the
+	// trajectory file self-describing across machines.
+	NumCPU     int                `json:"num_cpu"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Host       telemetry.HostInfo `json:"host"`
+	Points     []SweepPoint       `json:"points"`
 }
 
 // RunWorkersSweep measures the forward/adjoint cost of the given clip size
@@ -66,6 +71,7 @@ func RunWorkersSweep(n int, fieldNM float64, kernels, reps int, workersList []in
 	sweep := &WorkersSweep{
 		N: n, FieldNM: fieldNM, Kernels: len(model.Nominal.Kernels), Reps: reps,
 		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Host: telemetry.Host(),
 	}
 	for _, w := range workersList {
 		if w < 1 {

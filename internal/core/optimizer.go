@@ -7,6 +7,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/litho"
 	"repro/internal/mask"
+	"repro/internal/telemetry"
 )
 
 // Options configures the multi-level ILT optimizer. Zero values are not
@@ -66,6 +67,13 @@ type Options struct {
 	// one Process must agree on this value. Results are bit-identical for
 	// every setting.
 	Workers int
+	// Recorder receives per-iteration trace events (stage index, scale,
+	// loss terms, step size, line-search retries, wall time) and stage
+	// start/end markers, and is propagated to the process simulator for
+	// phase timers. Nil (the default) disables telemetry at zero cost.
+	// Like Workers, concurrent optimizers sharing one Process must agree
+	// on it; the recorder itself is safe for concurrent use.
+	Recorder *telemetry.Recorder
 }
 
 // DefaultOptions returns the paper's settings over a process.
@@ -98,6 +106,15 @@ type IterRecord struct {
 	Stage int
 	Iter  int
 	Loss  LossTerms
+	// Scale and HighRes identify the stage's resolution level.
+	Scale   int
+	HighRes bool
+	// Step is the committed step size (after line-search halvings) and
+	// Retries the number of halvings taken (0 without line search).
+	Step    float64
+	Retries int
+	// Seconds is the iteration's wall time.
+	Seconds float64
 }
 
 // Result is the outcome of a multi-level ILT run.
@@ -159,6 +176,11 @@ func New(opts Options, target *grid.Mat) (*Optimizer, error) {
 		// Process (the fullchip tile pool) all carry the pre-applied value
 		// and must not race on the simulator's knob.
 		opts.Process.Sim.Workers = opts.Workers
+	}
+	if opts.Recorder.Enabled() && opts.Process.Sim.Recorder != opts.Recorder {
+		// Same write-on-change discipline as Workers: concurrent tile
+		// optimizers share the pre-applied recorder.
+		opts.Process.Sim.Recorder = opts.Recorder
 	}
 	return &Optimizer{opts: opts, target: target, n: target.W}, nil
 }
@@ -273,7 +295,15 @@ func (o *Optimizer) runStage(mp *grid.Mat, st Stage, stageIdx int, res *Result) 
 		velocity = grid.NewMat(mp.W, mp.H)
 	}
 
+	rec := o.opts.Recorder
+	rec.Emit("stage.start", telemetry.Fields{
+		"stage": stageIdx, "scale": st.Scale, "highres": st.HighRes, "iters": st.Iters,
+	})
+	stageStart := time.Now()
+	itersRun := 0
+
 	for it := 0; it < st.Iters; it++ {
+		iterStart := time.Now()
 		terms, g, err := o.step(mp, st, ztS, true)
 		if err != nil {
 			return nil, err
@@ -289,16 +319,33 @@ func (o *Optimizer) runStage(mp *grid.Mat, st Stage, stageIdx int, res *Result) 
 			velocity.Add(g)
 			g = velocity
 		}
+		step := o.opts.LearningRate
+		retries := 0
 		if o.opts.LineSearch {
-			if err := o.lineSearchStep(mp, g, st, ztS, terms.Total()); err != nil {
+			step, retries, err = o.lineSearchStep(mp, g, st, ztS, terms.Total())
+			if err != nil {
 				return nil, err
 			}
 		} else {
 			mp.AddScaled(-o.opts.LearningRate, g)
 		}
 
-		res.History = append(res.History, IterRecord{Stage: stageIdx, Iter: it, Loss: terms})
+		record := IterRecord{
+			Stage: stageIdx, Iter: it, Loss: terms,
+			Scale: st.Scale, HighRes: st.HighRes,
+			Step: step, Retries: retries,
+			Seconds: time.Since(iterStart).Seconds(),
+		}
+		res.History = append(res.History, record)
 		res.Iterations++
+		itersRun++
+		if rec.Enabled() { // guard: the Fields literal would allocate per iteration
+			rec.Emit("iter", telemetry.Fields{
+				"stage": stageIdx, "iter": it, "scale": st.Scale,
+				"loss": terms.Total(), "l2": terms.L2, "pvb": terms.PVB, "penalty": terms.Penalty,
+				"step": step, "retries": retries, "sec": record.Seconds,
+			})
+		}
 
 		if !haveBest || terms.Total() < bestLoss {
 			bestLoss = terms.Total()
@@ -312,6 +359,10 @@ func (o *Optimizer) runStage(mp *grid.Mat, st Stage, stageIdx int, res *Result) 
 			}
 		}
 	}
+	rec.Emit("stage.end", telemetry.Fields{
+		"stage": stageIdx, "iters_run": itersRun, "best_loss": bestLoss,
+		"sec": time.Since(stageStart).Seconds(),
+	})
 	if !haveBest {
 		return mp, nil
 	}
@@ -321,8 +372,9 @@ func (o *Optimizer) runStage(mp *grid.Mat, st Stage, stageIdx int, res *Result) 
 // lineSearchStep applies the backtracking rule of [12]: starting from the
 // configured learning rate, halve the step until the loss at the candidate
 // parameters drops below the current loss (up to 4 halvings); the final
-// candidate is committed either way.
-func (o *Optimizer) lineSearchStep(mp, g *grid.Mat, st Stage, ztS *grid.Mat, curLoss float64) error {
+// candidate is committed either way. It returns the committed step size
+// and the number of halvings taken (for the iteration trace).
+func (o *Optimizer) lineSearchStep(mp, g *grid.Mat, st Stage, ztS *grid.Mat, curLoss float64) (float64, int, error) {
 	step := o.opts.LearningRate
 	cand := mp.Clone()
 	for try := 0; ; try++ {
@@ -330,11 +382,11 @@ func (o *Optimizer) lineSearchStep(mp, g *grid.Mat, st Stage, ztS *grid.Mat, cur
 		cand.AddScaled(-step, g)
 		terms, _, err := o.step(cand, st, ztS, false)
 		if err != nil {
-			return err
+			return 0, try, err
 		}
 		if terms.Total() < curLoss || try >= 4 {
 			mp.CopyFrom(cand)
-			return nil
+			return step, try, nil
 		}
 		step /= 2
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/litho"
 	"repro/internal/metrics"
 	"repro/internal/optics"
+	"repro/internal/telemetry"
 )
 
 // Config selects the scale of an experiment run. The paper operates at
@@ -37,8 +38,13 @@ type Config struct {
 	WithBaselines bool
 	// OutDir, when non-empty, receives image and CSV artifacts.
 	OutDir string
-	// Log, when non-nil, receives progress lines.
+	// Log, when non-nil, receives progress lines. Superseded by Recorder:
+	// when both are set, progress flows through the recorder's sinks only.
 	Log io.Writer
+	// Recorder, when enabled, receives experiment progress events and is
+	// propagated to the process simulator for phase timers (the -v flag of
+	// cmd/mltables wires a console sink here).
+	Recorder *telemetry.Recorder
 }
 
 // Harness is the default reproduction scale: full recipe budgets on a
@@ -96,12 +102,15 @@ func (c Config) Process() (*litho.Process, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	sp := c.Recorder.StartSpan("setup.optics")
 	model, err := optics.BuildModel(c.Optics())
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	p := litho.NewProcess(model)
 	p.Sim.Workers = c.Workers
+	p.Sim.Recorder = c.Recorder
 	if c.N/8 < model.Nominal.P {
 		// The s = 8 stages of the recipes need N/8 ≥ P.
 		return nil, fmt.Errorf("experiments: grid %d too small for kernel support %d at s=8 (raise N or shrink FieldNM)", c.N, model.Nominal.P)
@@ -140,8 +149,13 @@ func (c Config) RegionMargins() (opt1Px, opt2Px int) {
 	return opt1Px, opt2Px
 }
 
-// logf writes a progress line when logging is enabled.
+// logf emits a progress line through the telemetry console sink when a
+// recorder is wired, falling back to the plain Log writer.
 func (c Config) logf(format string, args ...any) {
+	if c.Recorder.Enabled() {
+		c.Recorder.Progressf(format, args...)
+		return
+	}
 	if c.Log != nil {
 		fmt.Fprintf(c.Log, format+"\n", args...)
 	}

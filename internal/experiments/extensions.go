@@ -33,6 +33,7 @@ func Window(c Config) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.logf("window: optimizing case1 with Our-exact")
 	ours, err := c.runRecipe(p, "Our-exact", cs.Target, core.ExactM1(), opt1, 0)
 	if err != nil {
 		return nil, err
@@ -118,6 +119,7 @@ func Convergence(c Config) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		c.logf("convergence: %s — %d iters, %.2fs, L2 %.0f", v.name, res.Iterations, res.ILTSeconds, rep.L2)
 		t.Add(v.name, report.F(rep.L2, 0), report.F(rep.PVB, 0),
 			report.I(rep.Shots), report.F(res.ILTSeconds, 3))
 		s := &report.Series{Name: v.name}

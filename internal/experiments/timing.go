@@ -44,7 +44,9 @@ func ForwardTiming(c Config, sims int) (*report.Table, error) {
 				return 0, fmt.Errorf("%s: %w", name, err)
 			}
 		}
-		return time.Since(start).Seconds(), nil
+		sec := time.Since(start).Seconds()
+		c.logf("timing: %s — %d sims in %.3fs", name, sims, sec)
+		return sec, nil
 	}
 
 	eq3, err := run("eq3", func() error {
@@ -127,6 +129,7 @@ func IterationTime(c Config, iters int) (*report.Table, error) {
 			return nil, fmt.Errorf("%s: %w", v.name, err)
 		}
 		per = append(per, res.ILTSeconds/float64(res.Iterations))
+		c.logf("itertime: %s — %.2f ms/iteration", v.name, per[len(per)-1]*1000)
 	}
 	for i, v := range variants {
 		t.Add(v.name, report.F(per[i]*float64(iters), 3),

@@ -48,6 +48,7 @@ func Verify(c Config) (*report.Table, error) {
 		if !pass {
 			verdict = "FAIL"
 		}
+		c.logf("verify: %s — %s [%s]", claim, measured, verdict)
 		t.Add(claim, measured, verdict)
 	}
 

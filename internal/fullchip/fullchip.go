@@ -18,7 +18,24 @@ import (
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/litho"
+	"repro/internal/telemetry"
 )
+
+// TileError identifies which tile of the grid failed. Optimize returns the
+// row-major-first failure wrapped in one of these, so callers can recover
+// the tile coordinates with errors.As instead of parsing the message.
+type TileError struct {
+	// TX, TY are the failing tile's grid coordinates (column, row).
+	TX, TY int
+	// Err is the underlying per-tile failure.
+	Err error
+}
+
+func (e *TileError) Error() string {
+	return fmt.Sprintf("fullchip: tile (%d,%d): %v", e.TX, e.TY, e.Err)
+}
+
+func (e *TileError) Unwrap() error { return e.Err }
 
 // Options configures the tiled flow.
 //
@@ -53,6 +70,13 @@ type Options struct {
 	// runtime.GOMAXPROCS(0). The stitched mask is identical for every value
 	// (tiles are independent and write disjoint core regions).
 	Workers int
+	// Recorder receives one "tile" event per tile (coordinates, seconds,
+	// skip state, emitted in row-major order after the pool joins, so the
+	// trace is deterministic) plus a "fullchip.end" summary, and is
+	// propagated to the shared simulator for phase timers. Nil disables
+	// telemetry. Per-tile iteration events stay off unless Configure
+	// installs its own core recorder (they would interleave across tiles).
+	Recorder *telemetry.Recorder
 }
 
 // Result is the stitched outcome.
@@ -121,6 +145,11 @@ func Optimize(opt Options, target *grid.Mat) (*Result, error) {
 		// so the per-tile core.New calls only read the simulator's knob.
 		opt.Process.Sim.Workers = copts.Workers
 	}
+	if opt.Recorder.Enabled() && opt.Process.Sim.Recorder != opt.Recorder {
+		// Phase timers from every tile fold into the shared recorder; apply
+		// once before the pool spins up, mirroring the Workers discipline.
+		opt.Process.Sim.Recorder = opt.Recorder
+	}
 
 	// The tile loop: each worker owns its tile's optimizer state end to end
 	// and commits into a disjoint core region of the stitched mask, so no
@@ -146,12 +175,12 @@ func Optimize(opt Options, target *grid.Mat) (*Result, error) {
 		}
 		o, err := core.New(copts, tile)
 		if err != nil {
-			outcomes[idx].err = fmt.Errorf("fullchip: tile (%d,%d): %w", tx, ty, err)
+			outcomes[idx].err = &TileError{TX: tx, TY: ty, Err: err}
 			return
 		}
 		r, err := o.Run(opt.Stages)
 		if err != nil {
-			outcomes[idx].err = fmt.Errorf("fullchip: tile (%d,%d): %w", tx, ty, err)
+			outcomes[idx].err = &TileError{TX: tx, TY: ty, Err: err}
 			return
 		}
 		// Commit the core region (halo discarded).
@@ -169,7 +198,14 @@ func Optimize(opt Options, target *grid.Mat) (*Result, error) {
 			res.ILTSeconds += oc.seconds
 			res.TileSeconds[idx] = oc.seconds
 		}
+		opt.Recorder.Emit("tile", telemetry.Fields{
+			"tx": idx % nx, "ty": idx / nx, "sec": oc.seconds, "skipped": !oc.run,
+		})
 	}
+	opt.Recorder.Emit("fullchip.end", telemetry.Fields{
+		"tiles_total": res.TilesTotal, "tiles_run": res.TilesRun,
+		"ilt_sec": res.ILTSeconds, "wall_sec": res.WallSeconds,
+	})
 	return res, nil
 }
 

@@ -1,6 +1,8 @@
 package fullchip
 
 import (
+	"errors"
+	"strings"
 	"sync"
 	"testing"
 
@@ -10,6 +12,7 @@ import (
 	"repro/internal/litho"
 	"repro/internal/metrics"
 	"repro/internal/optics"
+	"repro/internal/telemetry"
 )
 
 var (
@@ -270,5 +273,86 @@ func TestConfigureHookApplies(t *testing.T) {
 	}
 	if !called {
 		t.Error("Configure hook never invoked")
+	}
+}
+
+func TestTileErrorCarriesCoordinates(t *testing.T) {
+	p := process(t)
+	tgt := grid.NewMat(96, 96)
+	geom.FillRect(tgt, geom.Rect{X0: 8, Y0: 8, X1: 88, Y1: 88}, 1)
+	// A Configure hook that poisons the option template makes every tile's
+	// core.New fail; the reported error must be the row-major-first tile.
+	_, err := Optimize(Options{
+		Process: p, TileSize: 64, Halo: 8,
+		Stages:    []core.Stage{{Scale: 4, Iters: 1}},
+		Configure: func(o *core.Options) { o.LearningRate = -1 },
+	}, tgt)
+	if err == nil {
+		t.Fatal("poisoned options accepted")
+	}
+	var te *TileError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %T does not unwrap to *TileError: %v", err, err)
+	}
+	if te.TX != 0 || te.TY != 0 {
+		t.Errorf("failing tile (%d,%d), want row-major first (0,0)", te.TX, te.TY)
+	}
+	if !strings.Contains(err.Error(), "tile (0,0)") {
+		t.Errorf("error message %q missing tile coordinates", err.Error())
+	}
+	if te.Unwrap() == nil || !strings.Contains(te.Unwrap().Error(), "learning rate") {
+		t.Errorf("unwrapped cause %v, want the core validation error", te.Unwrap())
+	}
+}
+
+// eventSink retains events for assertions (fullchip emits tile events in
+// row-major order after the pool joins, so the trace is deterministic).
+type eventSink struct{ events []telemetry.Event }
+
+func (s *eventSink) Emit(e telemetry.Event) { s.events = append(s.events, e) }
+func (s *eventSink) Flush() error           { return nil }
+
+func TestRecorderTileEventsRowMajor(t *testing.T) {
+	p := process(t)
+	// 2×2 tile grid with content only in the top-left tile; SkipEmpty marks
+	// the other three as skipped but they still get a tile event.
+	tgt := grid.NewMat(96, 96)
+	geom.FillRect(tgt, geom.Rect{X0: 4, Y0: 4, X1: 30, Y1: 30}, 1)
+	sink := &eventSink{}
+	rec := telemetry.New(telemetry.WithSink(sink))
+	res, err := Optimize(Options{
+		Process: p, TileSize: 64, Halo: 8, SkipEmpty: true, Workers: 4,
+		Stages:   []core.Stage{{Scale: 4, Iters: 1}},
+		Recorder: rec,
+	}, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tiles []telemetry.Event
+	ends := 0
+	for _, e := range sink.events {
+		switch e.Name {
+		case "tile":
+			tiles = append(tiles, e)
+		case "fullchip.end":
+			ends++
+		}
+	}
+	if len(tiles) != res.TilesTotal || ends != 1 {
+		t.Fatalf("%d tile events (want %d) and %d fullchip.end (want 1)", len(tiles), res.TilesTotal, ends)
+	}
+	skipped := 0
+	for i, e := range tiles {
+		tx, _ := e.Fields["tx"].(int)
+		ty, _ := e.Fields["ty"].(int)
+		if tx != i%2 || ty != i/2 {
+			t.Errorf("tile event %d at (%d,%d), want row-major (%d,%d)", i, tx, ty, i%2, i/2)
+		}
+		if b, _ := e.Fields["skipped"].(bool); b {
+			skipped++
+		}
+	}
+	if run := res.TilesTotal - skipped; run != res.TilesRun {
+		t.Errorf("events report %d run tiles, result says %d", run, res.TilesRun)
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"repro/internal/fft"
 	"repro/internal/grid"
 	"repro/internal/optics"
+	"repro/internal/telemetry"
 )
 
 // Sim owns the FFT plan cache and runs forward/adjoint simulations for one
@@ -39,6 +40,11 @@ type Sim struct {
 	// runtime.GOMAXPROCS(0). Results are bit-identical for every value.
 	// Set it before sharing the Sim across goroutines.
 	Workers int
+	// Recorder receives phase timers (litho.fft_forward, litho.socs,
+	// litho.adjoint) and simulation counters. Nil (the default) disables
+	// telemetry at zero cost — the instrumented paths perform no extra
+	// allocations. Set it before sharing the Sim across goroutines.
+	Recorder *telemetry.Recorder
 
 	plans      sync.Map // int → *planEntry
 	planBuilds atomic.Int32
@@ -72,6 +78,7 @@ func (s *Sim) Plan(m int) (*fft.Plan2, error) {
 	e := v.(*planEntry)
 	e.once.Do(func() {
 		s.planBuilds.Add(1)
+		s.Recorder.Add("litho.plan_builds", 1)
 		e.plan, e.err = fft.NewPlan2(m, m)
 	})
 	return e.plan, e.err
@@ -193,13 +200,18 @@ func (s *Sim) Forward(mask *grid.Mat, ks *optics.KernelSet, dose float64, keepAm
 		return nil, err
 	}
 	spec := grid.ComplexFromReal(mask)
+	sp := s.Recorder.StartSpan("litho.fft_forward")
 	plan.Forward(spec)
+	sp.End()
 
 	f := &Field{M: m, Spec: spec, Dose: dose, KS: ks, Intensity: grid.NewMat(m, m)}
 	if keepAmps {
 		f.Amps = make([]*grid.CMat, len(ks.Kernels))
 	}
+	sp = s.Recorder.StartSpan("litho.socs")
 	s.accumulateSOCS(f, plan, spec, m, 1, keepAmps)
+	sp.End()
+	s.Recorder.Add("litho.forward_sims", 1)
 	return f, nil
 }
 
@@ -235,11 +247,16 @@ func (s *Sim) ForwardEq7(mask *grid.Mat, scale int, ks *optics.KernelSet, dose f
 		return nil, err
 	}
 	spec := grid.ComplexFromReal(mask)
+	sp := s.Recorder.StartSpan("litho.fft_forward")
 	planN.Forward(spec)
+	sp.End()
 
 	f := &Field{M: m, Spec: spec, Dose: dose, KS: ks, Intensity: grid.NewMat(m, m)}
 	sc := complex(1/float64(scale*scale), 0)
+	sp = s.Recorder.StartSpan("litho.socs")
 	s.accumulateSOCS(f, planM, spec, m, sc, false)
+	sp.End()
+	s.Recorder.Add("litho.eq7_sims", 1)
 	return f, nil
 }
 
@@ -266,6 +283,9 @@ func (s *Sim) Gradient(f *Field, dLdI *grid.Mat) (*grid.Mat, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := s.Recorder.StartSpan("litho.adjoint")
+	defer sp.End()
+	s.Recorder.Add("litho.adjoint_calls", 1)
 	nk := len(f.KS.Kernels)
 	p := f.KS.P
 	patches := make([]*grid.CMat, nk)

@@ -1,0 +1,63 @@
+package litho
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/telemetry"
+)
+
+// The forward/adjoint hot paths are instrumented unconditionally; with a nil
+// recorder the instrumentation must cost nothing. The exact telemetry call
+// sequence Forward makes (two spans plus a counter) is measured directly —
+// Forward's own allocations vary with plan/pool warm-up state, so the
+// overhead is what we pin to zero.
+func TestDisabledRecorderZeroAllocInForwardPath(t *testing.T) {
+	sim := NewSim(model(t))
+	if sim.Recorder.Enabled() {
+		t.Fatal("fresh Sim should have a disabled recorder")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := sim.Recorder.StartSpan("litho.fft_forward")
+		sp.End()
+		sp = sim.Recorder.StartSpan("litho.socs")
+		sp.End()
+		sim.Recorder.Add("litho.forward_sims", 1)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled recorder adds %.1f allocs per Forward, want 0", allocs)
+	}
+}
+
+// With a recorder attached, Forward/Gradient fold their time into the
+// litho.* phases and bump the simulation counters.
+func TestForwardAndGradientRecordPhases(t *testing.T) {
+	sim := NewSim(model(t))
+	rec := telemetry.New()
+	sim.Recorder = rec
+
+	const n = 64
+	mask := grid.NewMat(n, n)
+	mask.Fill(1)
+	f, err := sim.Forward(mask, sim.Model.Nominal, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Gradient(f, mask); err != nil {
+		t.Fatal(err)
+	}
+
+	phases := map[string]telemetry.PhaseStat{}
+	for _, p := range rec.Phases() {
+		phases[p.Name] = p
+	}
+	for _, name := range []string{"litho.fft_forward", "litho.socs", "litho.adjoint"} {
+		if phases[name].Count == 0 {
+			t.Errorf("phase %s not recorded (got %v)", name, rec.Phases())
+		}
+	}
+	c := rec.Counters()
+	if c["litho.forward_sims"] != 1 || c["litho.adjoint_calls"] != 1 {
+		t.Errorf("counters = %v", c)
+	}
+}

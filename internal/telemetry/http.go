@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// debugRecorder is the recorder the expvar "ilt" variable snapshots.
+// expvar.Publish is once-per-process, so the variable indirects through an
+// atomic pointer and ServeDebug swaps in the active recorder.
+var (
+	debugRecorder atomic.Pointer[Recorder]
+	publishOnce   sync.Once
+)
+
+// snapshot is the JSON shape of the expvar "ilt" variable.
+type snapshot struct {
+	ElapsedSec float64          `json:"elapsed_sec"`
+	Phases     []PhaseStat      `json:"phases"`
+	Counters   map[string]int64 `json:"counters"`
+}
+
+// ServeDebug serves net/http/pprof and expvar on addr (e.g. "localhost:6060"
+// or ":0" for an ephemeral port) in a background goroutine. The recorder's
+// phases and counters appear as the "ilt" expvar at /debug/vars alongside
+// the standard memstats. Returns the bound address and a shutdown func.
+func ServeDebug(addr string, r *Recorder) (string, func() error, error) {
+	debugRecorder.Store(r)
+	publishOnce.Do(func() {
+		expvar.Publish("ilt", expvar.Func(func() any {
+			rec := debugRecorder.Load()
+			return snapshot{
+				ElapsedSec: rec.Elapsed(),
+				Phases:     rec.Phases(),
+				Counters:   rec.Counters(),
+			}
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

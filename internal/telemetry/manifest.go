@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// ManifestSchema versions the manifest layout; bump on breaking changes.
+const ManifestSchema = 1
+
+// Manifest is the reproducibility record written next to a run's
+// artifacts: what ran (tool, args, config), where (host/CPU), from which
+// source revision, and what came out (metrics, phase timers, counters).
+// Two manifests with equal config/host/revision blocks describe directly
+// comparable runs.
+type Manifest struct {
+	Schema      int                `json:"schema"`
+	Tool        string             `json:"tool"`
+	Args        []string           `json:"args,omitempty"`
+	Start       string             `json:"start"` // RFC3339
+	DurationSec float64            `json:"duration_sec"`
+	GitRevision string             `json:"git_revision,omitempty"`
+	GitDirty    bool               `json:"git_dirty,omitempty"`
+	Host        HostInfo           `json:"host"`
+	Config      any                `json:"config,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	Phases      []PhaseStat        `json:"phases,omitempty"`
+	Counters    map[string]int64   `json:"counters,omitempty"`
+}
+
+// NewManifest starts a manifest for the named tool: host and git metadata
+// are captured now, Args from the process command line.
+func NewManifest(tool string, config any) *Manifest {
+	m := &Manifest{
+		Schema: ManifestSchema,
+		Tool:   tool,
+		Args:   os.Args[1:],
+		Start:  time.Now().Format(time.RFC3339),
+		Host:   Host(),
+		Config: config,
+	}
+	m.GitRevision, m.GitDirty = GitRevision()
+	return m
+}
+
+// SetMetric records one final metric.
+func (m *Manifest) SetMetric(name string, v float64) {
+	if m.Metrics == nil {
+		m.Metrics = map[string]float64{}
+	}
+	m.Metrics[name] = v
+}
+
+// Finish folds the recorder's aggregates (elapsed wall time, phase timers,
+// counters) into the manifest. With a nil recorder the manifest stays
+// valid, just without the timing blocks.
+func (m *Manifest) Finish(r *Recorder) {
+	if !r.Enabled() {
+		return
+	}
+	m.DurationSec = r.Elapsed()
+	m.Phases = r.Phases()
+	if c := r.Counters(); len(c) > 0 {
+		m.Counters = c
+	}
+}
+
+// Write serializes the manifest (indented JSON, trailing newline) to path.
+func (m *Manifest) Write(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: marshal manifest: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadManifest parses and sanity-checks a manifest file: schema version,
+// tool name and a plausible host block are required.
+func ReadManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("telemetry: manifest %s: %w", path, err)
+	}
+	if m.Schema != ManifestSchema {
+		return nil, fmt.Errorf("telemetry: manifest %s: schema %d, want %d", path, m.Schema, ManifestSchema)
+	}
+	if m.Tool == "" {
+		return nil, fmt.Errorf("telemetry: manifest %s: missing tool", path)
+	}
+	if m.Host.NumCPU < 1 || m.Host.OS == "" {
+		return nil, fmt.Errorf("telemetry: manifest %s: implausible host block", path)
+	}
+	return &m, nil
+}

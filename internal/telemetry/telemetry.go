@@ -1,0 +1,257 @@
+// Package telemetry is the repo's zero-dependency observability layer: a
+// concurrency-safe Recorder that aggregates phase timers (spans) and
+// counters, and streams structured trace events to pluggable sinks (a JSONL
+// writer for machines, a console renderer for humans). A nil *Recorder is
+// the disabled default — every method is nil-safe and the disabled paths
+// perform zero allocations, so hot loops (the per-kernel SOCS fan-out, the
+// per-iteration optimizer step) can be instrumented unconditionally.
+//
+// Three kinds of signal, by cost:
+//
+//   - Spans (StartSpan/End) accumulate wall time and a call count into a
+//     named phase. They never emit an event, so they are cheap enough for
+//     the forward-FFT/kernel-loop/adjoint phases that run thousands of
+//     times per optimization. Phase totals are flushed as one "phases"
+//     event by Close and exported via expvar (see ServeDebug).
+//   - Counters (Add) are atomic named tallies (simulations run, tiles
+//     skipped, plan builds, ...).
+//   - Events (Emit) are timestamped structured records delivered to every
+//     sink in strict sequence order. The optimizer emits one per iteration;
+//     fullchip emits one per tile.
+//
+// Spans measure wall time on the calling goroutine. When several
+// optimizations run concurrently (the fullchip tile pool), phase totals sum
+// the per-call wall times and may exceed elapsed process time — they remain
+// comparable as a cost breakdown, which is what the multi-level timing
+// argument (Eq. 7/8) needs.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fields carries the payload of one event. Values should be JSON-encodable
+// (numbers, strings, bools, nested maps). The reserved keys "event", "seq"
+// and "ts" are overwritten by the trace sink.
+type Fields map[string]any
+
+// Event is one structured trace record.
+type Event struct {
+	// Seq numbers events 1, 2, 3, ... in emission order (the order sinks
+	// observe, even under concurrent emitters).
+	Seq int64
+	// TS is seconds since the recorder was created (monotonic).
+	TS float64
+	// Name identifies the event schema ("iter", "stage.start", "tile", ...).
+	Name string
+	// Fields is the event payload; may be nil.
+	Fields Fields
+}
+
+// Sink consumes events. Emit is always invoked under the recorder's event
+// lock, so implementations need no locking of their own but must not call
+// back into the recorder.
+type Sink interface {
+	Emit(e Event)
+	Flush() error
+}
+
+// phase is one named span accumulator.
+type phase struct {
+	nanos atomic.Int64
+	count atomic.Int64
+}
+
+// Recorder aggregates spans/counters and fans events out to sinks. Safe for
+// concurrent use. The zero value is not usable; a nil *Recorder is the
+// no-op disabled recorder.
+type Recorder struct {
+	now   func() time.Time
+	start time.Time
+
+	mu    sync.Mutex // guards seq and sink emission order
+	seq   int64
+	sinks []Sink
+
+	phases   sync.Map // string → *phase
+	counters sync.Map // string → *atomic.Int64
+}
+
+// Option configures a Recorder.
+type Option func(*Recorder)
+
+// WithClock substitutes the time source (tests use a fake clock for golden
+// traces). The first call stamps the recorder start time.
+func WithClock(now func() time.Time) Option {
+	return func(r *Recorder) { r.now = now }
+}
+
+// WithSink attaches a sink; events are delivered in Seq order.
+func WithSink(s Sink) Option {
+	return func(r *Recorder) { r.sinks = append(r.sinks, s) }
+}
+
+// New builds an enabled recorder. With no sinks it still aggregates phases
+// and counters (enough for a run manifest or the expvar endpoint).
+func New(opts ...Option) *Recorder {
+	r := &Recorder{now: time.Now}
+	for _, o := range opts {
+		o(r)
+	}
+	r.start = r.now()
+	return r
+}
+
+// Enabled reports whether the recorder records anything (false on nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Span is an in-flight phase timer. The zero Span (from a disabled
+// recorder) is inert; End on it is a no-op.
+type Span struct {
+	r    *Recorder
+	name string
+	t0   time.Time
+}
+
+// StartSpan opens a phase timer. On a nil recorder it returns the zero Span
+// without reading the clock or allocating.
+func (r *Recorder) StartSpan(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, name: name, t0: r.now()}
+}
+
+// End closes the span, folding its wall time into the named phase.
+func (sp Span) End() {
+	if sp.r == nil {
+		return
+	}
+	sp.r.addPhase(sp.name, sp.r.now().Sub(sp.t0))
+}
+
+func (r *Recorder) addPhase(name string, d time.Duration) {
+	v, ok := r.phases.Load(name)
+	if !ok {
+		v, _ = r.phases.LoadOrStore(name, &phase{})
+	}
+	p := v.(*phase)
+	p.nanos.Add(int64(d))
+	p.count.Add(1)
+}
+
+// Add increments a named counter. No-op (and allocation-free) when disabled.
+func (r *Recorder) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	v, ok := r.counters.Load(name)
+	if !ok {
+		v, _ = r.counters.LoadOrStore(name, new(atomic.Int64))
+	}
+	v.(*atomic.Int64).Add(delta)
+}
+
+// Emit delivers an event to every sink, stamping Seq and TS. Events from
+// concurrent goroutines are serialized; Seq order equals delivery order.
+func (r *Recorder) Emit(name string, f Fields) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seq++
+	e := Event{Seq: r.seq, TS: r.now().Sub(r.start).Seconds(), Name: name, Fields: f}
+	for _, s := range r.sinks {
+		s.Emit(e)
+	}
+	r.mu.Unlock()
+}
+
+// Progressf emits a human-oriented "progress" event (rendered verbatim by
+// the console sink). Disabled recorders drop it.
+func (r *Recorder) Progressf(format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.Emit("progress", Fields{"msg": fmt.Sprintf(format, args...)})
+}
+
+// PhaseStat is one phase's aggregate.
+type PhaseStat struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"sec"`
+	Count   int64   `json:"count"`
+}
+
+// Phases returns the phase aggregates sorted by name.
+func (r *Recorder) Phases() []PhaseStat {
+	if r == nil {
+		return nil
+	}
+	var out []PhaseStat
+	r.phases.Range(func(k, v any) bool {
+		p := v.(*phase)
+		out = append(out, PhaseStat{
+			Name:    k.(string),
+			Seconds: time.Duration(p.nanos.Load()).Seconds(),
+			Count:   p.count.Load(),
+		})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Counters returns a snapshot of every counter.
+func (r *Recorder) Counters() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	out := map[string]int64{}
+	r.counters.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return out
+}
+
+// Elapsed is the wall time since the recorder was created.
+func (r *Recorder) Elapsed() float64 {
+	if r == nil {
+		return 0
+	}
+	return r.now().Sub(r.start).Seconds()
+}
+
+// Close flushes the aggregates — one "phases" event carrying every phase
+// ({sec, count} per name) and counter — and flushes all sinks. Safe on nil.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	f := Fields{}
+	for _, p := range r.Phases() {
+		f[p.Name] = map[string]any{"sec": p.Seconds, "count": p.Count}
+	}
+	if c := r.Counters(); len(c) > 0 {
+		counters := Fields{}
+		for k, v := range c {
+			counters[k] = v
+		}
+		f["counters"] = counters
+	}
+	r.Emit("phases", f)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var firstErr error
+	for _, s := range r.sinks {
+		if err := s.Flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
