@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race trace-smoke bench bench-workers vet
+.PHONY: all build test race trace-smoke bench bench-workers bench-fft bench-compare vet
 
 all: build test
 
@@ -11,18 +11,22 @@ test:
 	$(GO) test ./...
 
 # Tier-1 concurrency lane: the full suite under the race detector. The
-# parallel SOCS loops, the plan cache and the fullchip tile pool all have
-# dedicated stress/equivalence tests that only bite with -race on.
+# parallel SOCS loops, the plan cache, the fullchip tile pool and the
+# FFT-engine equivalence tests (band-pruned vs dense reference, tolerance 0)
+# all run here — new equivalence tests hook in by living in the suite.
 race:
 	$(GO) test -race ./...
 
 # Observability lane (runs alongside race): a small end-to-end iltopt run
 # with tracing on, then tracecheck re-validates the JSONL schema, the
 # phase-timer wall-clock coverage and the run manifest.
+# -workers 1 keeps the run on the serial SOCS lane, where the alternating
+# litho.socs / litho.fft_inverse spans are recorded — so the validated trace
+# exercises the full phase vocabulary on any host.
 trace-smoke:
 	mkdir -p artifacts
 	$(GO) run ./cmd/iltopt -case 1 -n 256 -field 1024 -kernels 12 -iterdiv 10 \
-		-recipe exact -trace artifacts/trace_smoke.jsonl -progress \
+		-workers 1 -recipe exact -trace artifacts/trace_smoke.jsonl -progress \
 		-manifest artifacts/trace_smoke_manifest.json
 	$(GO) run ./cmd/tracecheck -trace artifacts/trace_smoke.jsonl \
 		-manifest artifacts/trace_smoke_manifest.json
@@ -39,3 +43,25 @@ bench:
 bench-workers:
 	$(GO) run ./cmd/benchgen -sweep -n 512 -field 2048 -kernels 24 -reps 3 \
 		-workers 1,2,4,8 -json BENCH_WORKERS.json
+
+# FFT-engine sweep: times the exact forward simulation per FFT engine
+# (dense reference / pruned inverses / pruned + packed forward) at
+# workers=1 and records the band-pruning speedups in BENCH_FFT.json plus a
+# benchstat-format sidecar BENCH_FFT.txt.
+bench-fft:
+	$(GO) run ./cmd/benchgen -fftsweep -sizes 256,512,1024 -field 2048 \
+		-kernels 24 -reps 3 -json BENCH_FFT.json
+
+# Diff two bench-fft runs: OLD is the checked-in trajectory artifact, NEW a
+# fresh run (make bench-fft with -json BENCH_FFT.new.json, or copy). Uses
+# benchstat on the .txt sidecars when it is installed (no module
+# dependency is added), and always prints the built-in JSON diff.
+OLD ?= BENCH_FFT.json
+NEW ?= BENCH_FFT.new.json
+bench-compare:
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(OLD:.json=.txt) $(NEW:.json=.txt); \
+	else \
+		echo "benchstat not installed; using built-in diff"; \
+	fi
+	$(GO) run ./cmd/benchgen -compare -old $(OLD) -new $(NEW)

@@ -6,6 +6,8 @@
 //	benchgen -suite ext -out testdata/ext     # cases 11-20
 //	benchgen -suite via -count 15 -out testdata/via
 //	benchgen -sweep -json BENCH_WORKERS.json  # parallel-SOCS speedup curve
+//	benchgen -fftsweep -json BENCH_FFT.json   # FFT-engine (band pruning) sweep
+//	benchgen -compare -old BENCH_FFT.json -new BENCH_FFT.new.json
 package main
 
 import (
@@ -36,12 +38,58 @@ func run() error {
 	out := flag.String("out", "testdata", "output directory")
 	png := flag.Bool("png", true, "also write preview PNGs")
 	sweep := flag.Bool("sweep", false, "run the workers sweep instead of generating a suite")
-	sweepJSON := flag.String("json", "BENCH_WORKERS.json", "workers-sweep output file (with -sweep)")
+	sweepJSON := flag.String("json", "BENCH_WORKERS.json", "sweep output file (with -sweep / -fftsweep)")
 	sweepWorkers := flag.String("workers", "1,2,4,8", "comma-separated worker counts (with -sweep)")
-	sweepReps := flag.Int("reps", 3, "timed repetitions per sweep point (with -sweep)")
-	kernels := flag.Int("kernels", 24, "number of SOCS kernels (with -sweep)")
+	sweepReps := flag.Int("reps", 3, "timed repetitions per sweep point (with -sweep / -fftsweep)")
+	kernels := flag.Int("kernels", 24, "number of SOCS kernels (with -sweep / -fftsweep)")
+	fftsweep := flag.Bool("fftsweep", false, "run the FFT-engine sweep (band pruning vs dense reference)")
+	fftSizes := flag.String("sizes", "256,512,1024", "comma-separated grid sizes (with -fftsweep)")
+	compare := flag.Bool("compare", false, "diff two FFT-sweep JSON reports")
+	oldPath := flag.String("old", "BENCH_FFT.json", "baseline report (with -compare)")
+	newPath := flag.String("new", "BENCH_FFT.new.json", "candidate report (with -compare)")
 	manifestPath := flag.String("manifest", "", "write a run manifest (suite config + host + git revision) to this path")
 	flag.Parse()
+
+	if *compare {
+		oldS, err := bench.LoadFFTSweep(*oldPath)
+		if err != nil {
+			return err
+		}
+		newS, err := bench.LoadFFTSweep(*newPath)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.CompareFFTSweeps(oldS, newS))
+		return nil
+	}
+
+	if *fftsweep {
+		var sizes []int
+		for _, tok := range strings.Split(*fftSizes, ",") {
+			m, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				return fmt.Errorf("bad -sizes entry %q: %w", tok, err)
+			}
+			sizes = append(sizes, m)
+		}
+		s, err := bench.RunFFTSweep(sizes, *field, *kernels, *sweepReps)
+		if err != nil {
+			return err
+		}
+		if err := s.WriteJSON(*sweepJSON); err != nil {
+			return err
+		}
+		txt := strings.TrimSuffix(*sweepJSON, ".json") + ".txt"
+		if err := s.WriteBenchstat(txt); err != nil {
+			return err
+		}
+		for _, p := range s.Points {
+			fmt.Printf("m=%-5d reference %8.4fs  band-inverse %8.4fs (%.2fx)  band %8.4fs (%.2fx)\n",
+				p.M, p.ReferenceSec, p.BandInverseSec, p.BandInverseGain, p.BandSec, p.BandGain)
+		}
+		fmt.Printf("→ %s + %s (%d kernels, P=%d, workers=%d)\n", *sweepJSON, txt, s.Kernels, s.P, s.Workers)
+		return nil
+	}
 
 	if *sweep {
 		var list []int

@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/litho"
+	"repro/internal/optics"
+	"repro/internal/telemetry"
+)
+
+// FFT-engine sweep: the repo-level BENCH_FFT.json artifact tracks the
+// band-pruning speedup of the forward simulation across PRs. For each grid
+// size the sweep times one exact forward simulation (Eq. 3) per FFT engine
+// at a fixed worker count of 1 — the single-threaded column is what the
+// pruning claim is about, and it is comparable across hosts with different
+// core counts. Speedups are relative to the reference (dense) engine of the
+// same run.
+
+// FFTPoint is one grid size's measurement (seconds per forward simulation).
+type FFTPoint struct {
+	M               int     `json:"m"`
+	ReferenceSec    float64 `json:"reference_sec"`    // dense forward + dense inverses
+	BandInverseSec  float64 `json:"band_inverse_sec"` // dense forward + pruned inverses
+	BandSec         float64 `json:"band_sec"`         // packed forward + pruned inverses
+	BandInverseGain float64 `json:"band_inverse_speedup"`
+	BandGain        float64 `json:"band_speedup"`
+}
+
+// FFTSweep is the serializable sweep report.
+type FFTSweep struct {
+	FieldNM float64 `json:"field_nm"`
+	Kernels int     `json:"kernels"`
+	P       int     `json:"p"` // kernel support: the band is P×P
+	Reps    int     `json:"reps"`
+	Workers int     `json:"workers"`
+	// Host context, in the run-manifest host schema (self-describing
+	// trajectory file, like BENCH_WORKERS.json).
+	NumCPU     int                `json:"num_cpu"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Host       telemetry.HostInfo `json:"host"`
+	Points     []FFTPoint         `json:"points"`
+}
+
+// RunFFTSweep measures the forward-simulation cost of each FFT engine at
+// the given grid sizes (reps timed runs after one warm-up each).
+func RunFFTSweep(sizes []int, fieldNM float64, kernels, reps int) (*FFTSweep, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	if len(sizes) == 0 {
+		sizes = []int{256, 512, 1024}
+	}
+	oc := optics.Default()
+	oc.FieldNM = fieldNM
+	oc.NumKernels = kernels
+	model, err := optics.BuildModel(oc)
+	if err != nil {
+		return nil, err
+	}
+	sweep := &FFTSweep{
+		FieldNM: fieldNM, Kernels: len(model.Nominal.Kernels), P: model.Nominal.P,
+		Reps: reps, Workers: 1,
+		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Host: telemetry.Host(),
+	}
+	engines := []litho.FFTEngine{litho.EngineReference, litho.EngineBandInverse, litho.EngineBand}
+	for _, m := range sizes {
+		cs, err := M1Case(m, fieldNM, 1, PaperM1Areas[0], m1Params())
+		if err != nil {
+			return nil, err
+		}
+		mask := cs.Target
+		var secs [3]float64
+		for i, e := range engines {
+			sim := litho.NewSim(model)
+			sim.Workers = 1
+			sim.Engine = e
+			// Warm-up builds the plan, band tables and scratch pools.
+			if _, err := sim.Forward(mask, model.Nominal, 1, false); err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			for r := 0; r < reps; r++ {
+				if _, err := sim.Forward(mask, model.Nominal, 1, false); err != nil {
+					return nil, err
+				}
+			}
+			secs[i] = time.Since(start).Seconds() / float64(reps)
+		}
+		pt := FFTPoint{M: m, ReferenceSec: secs[0], BandInverseSec: secs[1], BandSec: secs[2]}
+		if pt.BandInverseSec > 0 {
+			pt.BandInverseGain = pt.ReferenceSec / pt.BandInverseSec
+		}
+		if pt.BandSec > 0 {
+			pt.BandGain = pt.ReferenceSec / pt.BandSec
+		}
+		sweep.Points = append(sweep.Points, pt)
+	}
+	return sweep, nil
+}
+
+// WriteJSON writes the sweep report (indented, trailing newline) to path.
+func (s *FFTSweep) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WriteBenchstat writes the sweep in Go benchmark format so two runs can be
+// diffed with benchstat (Makefile target bench-compare). One line per
+// (size, engine) pair.
+func (s *FFTSweep) WriteBenchstat(path string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "goos: %s\ngoarch: %s\ncpu: %s\n", runtime.GOOS, runtime.GOARCH, s.Host.CPUModel)
+	for _, p := range s.Points {
+		for _, ec := range []struct {
+			name string
+			sec  float64
+		}{
+			{"reference", p.ReferenceSec},
+			{"band-inverse", p.BandInverseSec},
+			{"band", p.BandSec},
+		} {
+			fmt.Fprintf(&b, "BenchmarkForward/m=%d/kernels=%d/engine=%s 1 %.0f ns/op\n",
+				p.M, s.Kernels, ec.name, ec.sec*1e9)
+		}
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// CompareFFTSweeps renders a per-size old-vs-new delta table for two sweep
+// reports (the benchstat-free fallback of make bench-compare). Sizes present
+// in only one report are skipped.
+func CompareFFTSweeps(old, new *FFTSweep) string {
+	oldAt := map[int]FFTPoint{}
+	for _, p := range old.Points {
+		oldAt[p.M] = p
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s  %-14s  %-12s  %-12s  %s\n", "m", "engine", "old", "new", "delta")
+	for _, np := range new.Points {
+		op, ok := oldAt[np.M]
+		if !ok {
+			continue
+		}
+		row := func(name string, o, n float64) {
+			delta := "n/a"
+			if o > 0 && n > 0 {
+				delta = fmt.Sprintf("%+.1f%%", (n/o-1)*100)
+			}
+			fmt.Fprintf(&b, "%-6d  %-14s  %10.4fs  %10.4fs  %s\n", np.M, name, o, n, delta)
+		}
+		row("reference", op.ReferenceSec, np.ReferenceSec)
+		row("band-inverse", op.BandInverseSec, np.BandInverseSec)
+		row("band", op.BandSec, np.BandSec)
+	}
+	return b.String()
+}
+
+// LoadFFTSweep reads a sweep report written by WriteJSON.
+func LoadFFTSweep(path string) (*FFTSweep, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s FFTSweep
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return &s, nil
+}

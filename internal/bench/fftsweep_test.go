@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFFTSweep(t *testing.T) {
+	s, err := RunFFTSweep([]int{64, 128}, 512, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 2 || s.Kernels < 1 || s.P < 3 || s.Workers != 1 {
+		t.Fatalf("sweep metadata incomplete: %+v", s)
+	}
+	for _, p := range s.Points {
+		if p.ReferenceSec <= 0 || p.BandInverseSec <= 0 || p.BandSec <= 0 {
+			t.Errorf("m=%d: non-positive timings %+v", p.M, p)
+		}
+		if p.BandInverseGain <= 0 || p.BandGain <= 0 {
+			t.Errorf("m=%d: speedups not computed %+v", p.M, p)
+		}
+	}
+
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "fft.json")
+	if err := s.WriteJSON(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFFTSweep(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != 2 || back.P != s.P {
+		t.Errorf("round-tripped sweep lost data: %+v", back)
+	}
+
+	txtPath := filepath.Join(dir, "fft.txt")
+	if err := s.WriteBenchstat(txtPath); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(txtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := string(raw)
+	// One benchmark line per (size, engine) pair, benchstat-parseable.
+	if got := strings.Count(txt, "BenchmarkForward/"); got != 6 {
+		t.Errorf("%d benchmark lines, want 6:\n%s", got, txt)
+	}
+	if !strings.Contains(txt, "engine=band ") || !strings.Contains(txt, "ns/op") {
+		t.Errorf("benchstat format missing fields:\n%s", txt)
+	}
+
+	diff := CompareFFTSweeps(back, s)
+	if !strings.Contains(diff, "reference") || !strings.Contains(diff, "%") {
+		t.Errorf("compare table incomplete:\n%s", diff)
+	}
+}

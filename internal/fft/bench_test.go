@@ -63,3 +63,110 @@ func BenchmarkApplyKernel(b *testing.B) {
 		dst = ApplyKernel(dst, spec, ker, 64, complex(1.0/16, 0))
 	}
 }
+
+// bandProduct builds a P-band-limited m×m spectrum the way the simulator
+// does (ApplyKernelBand output over pool scratch).
+func bandProduct(m, p int) (*grid.CMat, BandSpec) {
+	spec := benchMatrix(m)
+	ker := benchMatrix(p)
+	return ApplyKernelBand(nil, BandNone, spec, ker, m, 1)
+}
+
+func benchmarkInverseBand(b *testing.B, m, p int) {
+	plan, err := NewPlan2(m, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, band := bandProduct(m, p)
+	dst := grid.NewCMat(m, m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan.InverseBand(dst, src, band)
+	}
+}
+
+func benchmarkInverseDense(b *testing.B, m, p int) {
+	plan, err := NewPlan2(m, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := benchMatrix(m)
+	ker := benchMatrix(p)
+	var dst *grid.CMat
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = ApplyKernel(dst, spec, ker, m, 1)
+		plan.Inverse(dst)
+	}
+}
+
+// The pruned per-kernel inverse vs the dense reference pipeline it replaces
+// (product + inverse, since the band path folds the clear into the product).
+func BenchmarkInverseBand_1024_P35(b *testing.B)  { benchmarkInverseBand(b, 1024, 35) }
+func BenchmarkInverseDense_1024_P35(b *testing.B) { benchmarkInverseDense(b, 1024, 35) }
+func BenchmarkInverseBand_256_P13(b *testing.B)   { benchmarkInverseBand(b, 256, 13) }
+func BenchmarkInverseDense_256_P13(b *testing.B)  { benchmarkInverseDense(b, 256, 13) }
+
+func BenchmarkForwardReal_1024(b *testing.B) {
+	plan, err := NewPlan2(1024, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	mask := grid.NewMat(1024, 1024)
+	for i := range mask.Data {
+		mask.Data[i] = rng.Float64()
+	}
+	dst := grid.NewCMat(1024, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan.ForwardReal(dst, mask)
+	}
+}
+
+func BenchmarkForwardDense_1024(b *testing.B) {
+	plan, err := NewPlan2(1024, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	mask := grid.NewMat(1024, 1024)
+	for i := range mask.Data {
+		mask.Data[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := grid.ComplexFromReal(mask)
+		plan.Forward(dst)
+	}
+}
+
+// The satellite fix: ApplyKernel's reuse path pays a full m² memset per
+// kernel (visible at m = 2048), ApplyKernelBand's same-band reuse clears
+// nothing and a band change clears only P rows.
+func BenchmarkApplyKernelReuseFull_2048(b *testing.B) {
+	spec := benchMatrix(2048)
+	ker := benchMatrix(35)
+	var dst *grid.CMat
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = ApplyKernel(dst, spec, ker, 2048, 1)
+	}
+}
+
+func BenchmarkApplyKernelReuseBand_2048(b *testing.B) {
+	spec := benchMatrix(2048)
+	ker := benchMatrix(35)
+	var dst *grid.CMat
+	dirty := BandNone
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, dirty = ApplyKernelBand(dst, dirty, spec, ker, 2048, 1)
+	}
+}

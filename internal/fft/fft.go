@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 )
 
 // Plan holds the precomputed state for transforms of a fixed power-of-two
@@ -30,6 +31,7 @@ type Plan struct {
 	twidF   []complex128 // forward twiddles, all stages concatenated
 	twidI   []complex128 // inverse twiddles
 	stageAt []int        // offset of each stage's twiddles
+	bands   sync.Map     // int (band half-width) → *bandTable, see band.go
 }
 
 // NewPlan creates a plan for length-n transforms. n must be a power of two

@@ -17,6 +17,8 @@ type Plan2 struct {
 	// colBufs recycles column-gather scratch across transforms (and across
 	// the workers of one transform), so a warm plan performs no allocation.
 	colBufs sync.Pool
+	// rowBufs recycles the row-pair packing scratch of ForwardReal.
+	rowBufs sync.Pool
 }
 
 // NewPlan2 creates a 2-D plan for w×h matrices.
@@ -37,7 +39,20 @@ func NewPlan2(w, h int) (*Plan2, error) {
 	// its header on every Put, which alone dominated the transform's
 	// allocation profile.
 	p.colBufs.New = func() any { b := make([]complex128, h); return &b }
+	p.rowBufs.New = func() any { b := make([]complex128, w); return &b }
 	return p, nil
+}
+
+// workersFor resolves the worker count for a pass over `limit` units.
+func (p *Plan2) workersFor(limit int) int {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > limit {
+		workers = limit
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
 }
 
 // W returns the plan width.
@@ -56,13 +71,7 @@ func (p *Plan2) transform(m *grid.CMat, inverse bool) {
 	if m.W != p.w || m.H != p.h {
 		panic(fmt.Sprintf("fft: matrix %dx%d does not match plan %dx%d", m.W, m.H, p.w, p.h))
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > p.h {
-		workers = p.h
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers := p.workersFor(p.h)
 
 	if workers <= 1 {
 		// Serial fast path: plain loops, no closures, one scratch buffer —
@@ -75,22 +84,7 @@ func (p *Plan2) transform(m *grid.CMat, inverse bool) {
 				p.rowP.Forward(row)
 			}
 		}
-		bp := p.colBufs.Get().(*[]complex128)
-		buf := *bp
-		for x := 0; x < p.w; x++ {
-			for y := 0; y < p.h; y++ {
-				buf[y] = m.Data[y*p.w+x]
-			}
-			if inverse {
-				p.colP.Inverse(buf)
-			} else {
-				p.colP.Forward(buf)
-			}
-			for y := 0; y < p.h; y++ {
-				m.Data[y*p.w+x] = buf[y]
-			}
-		}
-		p.colBufs.Put(bp)
+		p.colPassSerial(m, inverse)
 		return
 	}
 
@@ -104,9 +98,34 @@ func (p *Plan2) transform(m *grid.CMat, inverse bool) {
 			p.rowP.Forward(row)
 		}
 	})
+	p.colPassParallel(m, inverse, workers)
+}
 
-	// Column pass: gather each column into a scratch buffer, transform,
-	// scatter back. Scratch buffers are per-worker, recycled on the plan.
+// colPassSerial transforms every column of m in place on the calling
+// goroutine, recycling one gather buffer from the plan pool.
+func (p *Plan2) colPassSerial(m *grid.CMat, inverse bool) {
+	bp := p.colBufs.Get().(*[]complex128)
+	buf := *bp
+	for x := 0; x < p.w; x++ {
+		for y := 0; y < p.h; y++ {
+			buf[y] = m.Data[y*p.w+x]
+		}
+		if inverse {
+			p.colP.Inverse(buf)
+		} else {
+			p.colP.Forward(buf)
+		}
+		for y := 0; y < p.h; y++ {
+			m.Data[y*p.w+x] = buf[y]
+		}
+	}
+	p.colBufs.Put(bp)
+}
+
+// colPassParallel is colPassSerial fanned out across workers: gather each
+// column into a scratch buffer, transform, scatter back. Scratch buffers are
+// per-worker, recycled on the plan.
+func (p *Plan2) colPassParallel(m *grid.CMat, inverse bool, workers int) {
 	grid.ParallelFor(workers, p.w, func(x int) {
 		bp := p.colBufs.Get().(*[]complex128)
 		buf := *bp

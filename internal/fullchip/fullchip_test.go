@@ -356,3 +356,33 @@ func TestRecorderTileEventsRowMajor(t *testing.T) {
 		t.Errorf("events report %d run tiles, result says %d", run, res.TilesRun)
 	}
 }
+
+// TestBandEngineFlowsThroughTiles: the tile pool shares one Process, so the
+// Sim's FFT engine selection must reach every tile — and the pruning-only
+// engine must stitch a mask bit-identical to the dense reference engine.
+func TestBandEngineFlowsThroughTiles(t *testing.T) {
+	tgt := grid.NewMat(192, 160)
+	geom.FillRect(tgt, geom.Rect{X0: 30, Y0: 40, X1: 90, Y1: 60}, 1)
+	geom.FillRect(tgt, geom.Rect{X0: 110, Y0: 90, X1: 170, Y1: 110}, 1)
+
+	run := func(e litho.FFTEngine) *Result {
+		proc := litho.NewProcess(process(t).Sim.Model)
+		proc.Sim.Engine = e
+		res, err := Optimize(Options{
+			Process: proc, TileSize: 128, Halo: HaloFor(proc, 4),
+			Stages: []core.Stage{{Scale: 4, Iters: 6}}, SkipEmpty: true, Workers: 2,
+		}, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(litho.EngineReference)
+	band := run(litho.EngineBandInverse)
+	if !band.Mask.Equal(ref.Mask, 0) {
+		t.Error("pruned-inverse engine stitched a different mask than the reference engine")
+	}
+	if band.TilesRun != ref.TilesRun {
+		t.Errorf("tile accounting differs: %d vs %d", band.TilesRun, ref.TilesRun)
+	}
+}

@@ -1,0 +1,260 @@
+package litho
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/telemetry"
+)
+
+// The old-vs-new contract of the band engine, split by guarantee strength:
+//
+//   - EngineBandInverse (pruned inverses, dense forward) is bit-identical
+//     to EngineReference — tolerance 0, every worker count, every output.
+//   - EngineBand additionally packs the real mask two-for-one in the
+//     forward transform, which reassociates rounding; it must agree with
+//     the reference to a tight scaled tolerance.
+
+func newEngineSim(t *testing.T, e FFTEngine, workers int) *Sim {
+	t.Helper()
+	sim := NewSim(model(t))
+	sim.Engine = e
+	sim.Workers = workers
+	return sim
+}
+
+// Tolerance-0 equivalence of Forward old-vs-new: the pruned engine must
+// reproduce the dense reference bit-for-bit — intensity, spectrum and
+// kept amplitudes — across grid sizes, worker counts and keepAmps modes.
+func TestEngineBandInverseForwardBitIdentical(t *testing.T) {
+	mdl := model(t)
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{64, 128, 256} {
+		mask := randMask(rng, n)
+		for _, keep := range []bool{false, true} {
+			ref := newEngineSim(t, EngineReference, 1)
+			want, err := ref.Forward(mask, mdl.Nominal, 1.02, keep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workerSweep() {
+				sim := newEngineSim(t, EngineBandInverse, w)
+				got, err := sim.Forward(mask, mdl.Nominal, 1.02, keep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Intensity.Equal(want.Intensity, 0) {
+					t.Errorf("n=%d workers=%d keep=%v: banded intensity differs from reference", n, w, keep)
+				}
+				if got.Spec.MaxAbsDiff(want.Spec) != 0 {
+					t.Errorf("n=%d workers=%d: banded spectrum differs from reference", n, w)
+				}
+				if keep {
+					for k := range want.Amps {
+						if got.Amps[k].MaxAbsDiff(want.Amps[k]) != 0 {
+							t.Errorf("n=%d workers=%d: banded amplitude %d differs", n, w, k)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Same tolerance-0 equivalence for the truncated Eq. 7 simulation, where
+// the pruning engages at the reduced size m = n/s.
+func TestEngineBandInverseEq7BitIdentical(t *testing.T) {
+	mdl := model(t)
+	rng := rand.New(rand.NewSource(32))
+	const n = 256
+	mask := randMask(rng, n)
+	for _, scale := range []int{1, 2, 4} {
+		ref := newEngineSim(t, EngineReference, 1)
+		want, err := ref.ForwardEq7(mask, scale, mdl.Nominal, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerSweep() {
+			sim := newEngineSim(t, EngineBandInverse, w)
+			got, err := sim.ForwardEq7(mask, scale, mdl.Nominal, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Intensity.Equal(want.Intensity, 0) {
+				t.Errorf("scale=%d workers=%d: banded Eq7 intensity differs from reference", scale, w)
+			}
+		}
+	}
+}
+
+// Tolerance-0 equivalence of Gradient old-vs-new on both adjoint paths
+// (kept amplitudes and the recompute path, which is where the pruned
+// per-kernel inverses and the band-limited accumulator inverse run).
+func TestEngineBandInverseGradientBitIdentical(t *testing.T) {
+	mdl := model(t)
+	rng := rand.New(rand.NewSource(33))
+	for _, n := range []int{64, 128} {
+		mask := randMask(rng, n)
+		dLdI := randMask(rng, n)
+		for _, keep := range []bool{false, true} {
+			ref := newEngineSim(t, EngineReference, 1)
+			rf, err := ref.Forward(mask, mdl.Nominal, 1, keep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ref.Gradient(rf, dLdI)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workerSweep() {
+				sim := newEngineSim(t, EngineBandInverse, w)
+				f, err := sim.Forward(mask, mdl.Nominal, 1, keep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := sim.Gradient(f, dLdI)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want, 0) {
+					t.Errorf("n=%d workers=%d keep=%v: banded gradient differs from reference", n, w, keep)
+				}
+			}
+		}
+	}
+}
+
+// The default engine (ForwardReal packing on top of the pruned inverses)
+// agrees with the reference to rounding. The tolerance scales with the
+// intensity magnitude (O(1) under the open-frame normalisation): 1e-10 is
+// ~6 decimal orders above the observed ulp-level deviation but far below
+// any physically meaningful intensity difference.
+func TestEngineBandMatchesReferenceClosely(t *testing.T) {
+	mdl := model(t)
+	rng := rand.New(rand.NewSource(34))
+	const n, tol = 128, 1e-10
+	mask := randMask(rng, n)
+	dLdI := randMask(rng, n)
+
+	ref := newEngineSim(t, EngineReference, 1)
+	rf, err := ref.Forward(mask, mdl.Nominal, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := ref.Gradient(rf, dLdI)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sim := newEngineSim(t, EngineBand, 1)
+	f, err := sim.Forward(mask, mdl.Nominal, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Intensity.Equal(rf.Intensity, tol) {
+		t.Error("band-engine intensity outside rounding tolerance of reference")
+	}
+	g, err := sim.Gradient(f, dLdI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(rg, tol) {
+		t.Error("band-engine gradient outside rounding tolerance of reference")
+	}
+
+	e7ref, err := ref.ForwardEq7(mask, 2, mdl.Nominal, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e7, err := sim.ForwardEq7(mask, 2, mdl.Nominal, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e7.Intensity.Equal(e7ref.Intensity, tol) {
+		t.Error("band-engine Eq7 intensity outside rounding tolerance of reference")
+	}
+}
+
+// The default engine stays bit-identical across worker counts — the band
+// transforms preserve PR 1's determinism discipline.
+func TestEngineBandDeterministicAcrossWorkers(t *testing.T) {
+	mdl := model(t)
+	rng := rand.New(rand.NewSource(35))
+	const n = 128
+	mask := randMask(rng, n)
+	base := newEngineSim(t, EngineBand, 1)
+	want, err := base.Forward(mask, mdl.Nominal, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerSweep() {
+		sim := newEngineSim(t, EngineBand, w)
+		got, err := sim.Forward(mask, mdl.Nominal, 1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Intensity.Equal(want.Intensity, 0) {
+			t.Errorf("workers=%d: band engine not bit-identical to serial", w)
+		}
+	}
+}
+
+// An all-zero mask must image to an exactly zero field under every engine
+// (the dark-frame invariant other tests assume at tolerance 1e-12 holds
+// exactly here).
+func TestEnginesDarkFrameExactZero(t *testing.T) {
+	mdl := model(t)
+	const n = 64
+	mask := grid.NewMat(n, n)
+	for _, e := range []FFTEngine{EngineBand, EngineBandInverse, EngineReference} {
+		sim := newEngineSim(t, e, 1)
+		f, err := sim.Forward(mask, mdl.Nominal, 1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range f.Intensity.Data {
+			if v != 0 || math.Signbit(v) {
+				t.Fatalf("engine %d: dark frame pixel %d = %v, want +0", e, i, v)
+			}
+		}
+	}
+}
+
+// The band engine records the per-kernel FFT counter and the fft_inverse
+// phase (serial lane), keeping the litho.socs phase tracecheck depends on.
+func TestBandEngineTelemetry(t *testing.T) {
+	mdl := model(t)
+	sim := newEngineSim(t, EngineBand, 1)
+	rec := telemetry.New()
+	sim.Recorder = rec
+
+	const n = 64
+	mask := grid.NewMat(n, n)
+	mask.Fill(1)
+	f, err := sim.Forward(mask, mdl.Nominal, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Gradient(f, mask); err != nil {
+		t.Fatal(err)
+	}
+
+	phases := map[string]telemetry.PhaseStat{}
+	for _, p := range rec.Phases() {
+		phases[p.Name] = p
+	}
+	nk := len(mdl.Nominal.Kernels)
+	if got := phases["litho.fft_inverse"].Count; got != int64(nk) {
+		t.Errorf("litho.fft_inverse count = %d, want %d", got, nk)
+	}
+	if phases["litho.socs"].Count == 0 || phases["litho.fft_forward"].Count == 0 {
+		t.Errorf("socs/fft_forward phases missing: %v", rec.Phases())
+	}
+	c := rec.Counters()
+	// One forward SOCS pass plus the gradient recompute path: 2·nk.
+	if c["litho.kernel_ffts"] != int64(2*nk) {
+		t.Errorf("litho.kernel_ffts = %d, want %d", c["litho.kernel_ffts"], 2*nk)
+	}
+}

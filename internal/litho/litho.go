@@ -18,6 +18,14 @@
 // reduction is a strictly k-ordered fold of precomputed per-kernel
 // contributions — so the result is bit-identical for every worker count,
 // including the serial path.
+//
+// FFT engine (see DESIGN.md, "FFT engine"): by default the simulator runs
+// band-aware transforms — the per-kernel inverse FFTs prune the rows and
+// butterfly blocks outside the P×P kernel-support band (bit-identical to
+// the dense transforms), and the mask spectrum uses the two-for-one
+// real-input forward (identical to rounding). Sim.Engine selects between
+// this default, the pruning-only EngineBandInverse, and the dense
+// EngineReference.
 package litho
 
 import (
@@ -32,6 +40,30 @@ import (
 	"repro/internal/telemetry"
 )
 
+// FFTEngine selects the FFT execution paths of a Sim. The kernels populate
+// only a P×P band of each product spectrum, so the per-kernel inverse
+// transforms can prune the rows and butterfly blocks that are structurally
+// zero; the mask itself is real, so its forward transform can pack row pairs
+// two-for-one. The engines expose those two optimisations separately
+// because their equivalence guarantees differ: pruning is bit-identical to
+// the dense reference, the real-input packing is identical only to rounding.
+type FFTEngine int
+
+const (
+	// EngineBand (the default) applies both optimisations: ForwardReal for
+	// the mask spectrum and InverseBand for every per-kernel inverse.
+	// Agrees with EngineReference to rounding (~ulp-level relative error,
+	// from the forward packing only); see DESIGN.md, "FFT engine".
+	EngineBand FFTEngine = iota
+	// EngineBandInverse keeps the dense reference forward transform and
+	// prunes only the per-kernel inverses — bit-identical to
+	// EngineReference for every output, at most of EngineBand's speed.
+	EngineBandInverse
+	// EngineReference is the dense pre-band engine, retained as the
+	// reference implementation the equivalence tests compare against.
+	EngineReference
+)
+
 // Sim owns the FFT plan cache and runs forward/adjoint simulations for one
 // optical model. It is safe for concurrent use.
 type Sim struct {
@@ -40,10 +72,14 @@ type Sim struct {
 	// runtime.GOMAXPROCS(0). Results are bit-identical for every value.
 	// Set it before sharing the Sim across goroutines.
 	Workers int
+	// Engine selects the FFT execution paths; the zero value is the
+	// band-aware default. Set it before sharing the Sim across goroutines.
+	Engine FFTEngine
 	// Recorder receives phase timers (litho.fft_forward, litho.socs,
-	// litho.adjoint) and simulation counters. Nil (the default) disables
-	// telemetry at zero cost — the instrumented paths perform no extra
-	// allocations. Set it before sharing the Sim across goroutines.
+	// litho.fft_inverse, litho.adjoint) and simulation counters. Nil (the
+	// default) disables telemetry at zero cost — the instrumented paths
+	// perform no extra allocations. Set it before sharing the Sim across
+	// goroutines.
 	Recorder *telemetry.Recorder
 
 	plans      sync.Map // int → *planEntry
@@ -122,6 +158,22 @@ func (s *Sim) checkMask(mask *grid.Mat, p int) error {
 	return nil
 }
 
+// maskSpectrum computes the unnormalised FFT of the mask under the active
+// engine: the band engine packs the real input two-for-one (ForwardReal),
+// the others run the dense reference transform.
+func (s *Sim) maskSpectrum(plan *fft.Plan2, mask *grid.Mat) *grid.CMat {
+	sp := s.Recorder.StartSpan("litho.fft_forward")
+	defer sp.End()
+	if s.Engine == EngineBand {
+		spec := grid.NewCMat(mask.W, mask.H)
+		plan.ForwardReal(spec, mask)
+		return spec
+	}
+	spec := grid.ComplexFromReal(mask)
+	plan.Forward(spec)
+	return spec
+}
+
 // accumulateSOCS runs the per-kernel SOCS loop shared by Forward and
 // ForwardEq7: amplitude A_k = F⁻¹(scale·H_k ⊙ spec) at size m, intensity
 // += dose·w_k·|A_k|². The amplitude work fans out across kernelWorkers
@@ -129,49 +181,96 @@ func (s *Sim) checkMask(mask *grid.Mat, p int) error {
 // private buffer and the final fold into f.Intensity runs on the calling
 // goroutine in ascending k — the floating-point reduction order is fixed,
 // so any worker count produces the same bits.
+//
+// Under the band engines the kernel product lives in a band-limited scratch
+// buffer (ApplyKernelBand clears only the previously dirty rows) and the
+// inverse is the pruned out-of-place InverseBand — bit-identical to the
+// dense ApplyKernel + Inverse pair it replaces.
+//
+// Telemetry: the serial lane alternates non-overlapping litho.socs /
+// litho.fft_inverse spans so traces show the inverse-transform share of the
+// SOCS loop; the parallel lane records one caller-side litho.socs span
+// (per-worker spans would double-count wall time and break tracecheck's
+// phase-coverage bound).
 func (s *Sim) accumulateSOCS(f *Field, plan *fft.Plan2, spec *grid.CMat, m int, scale complex128, keepAmps bool) {
 	ks := f.KS
 	nk := len(ks.Kernels)
 	workers := s.kernelWorkers(nk)
+	banded := s.Engine != EngineReference
 
 	if workers <= 1 {
 		// Serial fast path: one amplitude buffer and one contribution buffer
 		// recycled across all kernels — O(1) scratch at any grid size.
 		contrib := s.mscratch.Get(m, m)
+		var prod *grid.CMat
+		dirty := fft.BandNone
+		if banded {
+			prod = s.cscratch.Get(m, m)
+		}
 		var buf *grid.CMat
 		if !keepAmps {
 			buf = s.cscratch.Get(m, m)
 		}
 		for k, h := range ks.Kernels {
-			var amp *grid.CMat
+			amp := buf
 			if keepAmps {
-				amp = fft.ApplyKernel(nil, spec, h, m, scale)
+				amp = grid.NewCMat(m, m)
 				f.Amps[k] = amp
-			} else {
-				amp = fft.ApplyKernel(buf, spec, h, m, scale)
 			}
-			plan.Inverse(amp)
+			sp := s.Recorder.StartSpan("litho.socs")
+			if banded {
+				prod, dirty = fft.ApplyKernelBand(prod, dirty, spec, h, m, scale)
+			} else {
+				fft.ApplyKernel(amp, spec, h, m, scale)
+			}
+			sp.End()
+			spi := s.Recorder.StartSpan("litho.fft_inverse")
+			if banded {
+				plan.InverseBand(amp, prod, dirty)
+			} else {
+				plan.Inverse(amp)
+			}
+			spi.End()
+			sp = s.Recorder.StartSpan("litho.socs")
 			amp.AbsSqScaledInto(contrib, f.Dose*ks.Weights[k])
 			f.Intensity.Add(contrib)
+			sp.End()
+		}
+		if prod != nil {
+			s.cscratch.Put(prod)
 		}
 		if buf != nil {
 			s.cscratch.Put(buf)
 		}
 		s.mscratch.Put(contrib)
+		s.Recorder.Add("litho.kernel_ffts", int64(nk))
 		return
 	}
 
+	sp := s.Recorder.StartSpan("litho.socs")
 	contribs := make([]*grid.Mat, nk)
 	grid.ParallelFor(workers, nk, func(k int) {
 		h := ks.Kernels[k]
 		var amp *grid.CMat
-		if keepAmps {
-			amp = fft.ApplyKernel(nil, spec, h, m, scale)
-			f.Amps[k] = amp
+		if banded {
+			prod, band := fft.ApplyKernelBand(s.cscratch.Get(m, m), fft.BandNone, spec, h, m, scale)
+			if keepAmps {
+				amp = grid.NewCMat(m, m)
+				f.Amps[k] = amp
+			} else {
+				amp = s.cscratch.Get(m, m)
+			}
+			plan.InverseBand(amp, prod, band)
+			s.cscratch.Put(prod)
 		} else {
-			amp = fft.ApplyKernel(s.cscratch.Get(m, m), spec, h, m, scale)
+			if keepAmps {
+				amp = fft.ApplyKernel(nil, spec, h, m, scale)
+				f.Amps[k] = amp
+			} else {
+				amp = fft.ApplyKernel(s.cscratch.Get(m, m), spec, h, m, scale)
+			}
+			plan.Inverse(amp)
 		}
-		plan.Inverse(amp)
 		c := s.mscratch.Get(m, m)
 		amp.AbsSqScaledInto(c, f.Dose*ks.Weights[k])
 		contribs[k] = c
@@ -183,6 +282,8 @@ func (s *Sim) accumulateSOCS(f *Field, plan *fft.Plan2, spec *grid.CMat, m int, 
 		f.Intensity.Add(c)
 		s.mscratch.Put(c)
 	}
+	sp.End()
+	s.Recorder.Add("litho.kernel_ffts", int64(nk))
 }
 
 // Forward runs the exact SOCS simulation (Eq. 3) of the mask at its own
@@ -199,18 +300,13 @@ func (s *Sim) Forward(mask *grid.Mat, ks *optics.KernelSet, dose float64, keepAm
 	if err != nil {
 		return nil, err
 	}
-	spec := grid.ComplexFromReal(mask)
-	sp := s.Recorder.StartSpan("litho.fft_forward")
-	plan.Forward(spec)
-	sp.End()
+	spec := s.maskSpectrum(plan, mask)
 
 	f := &Field{M: m, Spec: spec, Dose: dose, KS: ks, Intensity: grid.NewMat(m, m)}
 	if keepAmps {
 		f.Amps = make([]*grid.CMat, len(ks.Kernels))
 	}
-	sp = s.Recorder.StartSpan("litho.socs")
 	s.accumulateSOCS(f, plan, spec, m, 1, keepAmps)
-	sp.End()
 	s.Recorder.Add("litho.forward_sims", 1)
 	return f, nil
 }
@@ -246,16 +342,11 @@ func (s *Sim) ForwardEq7(mask *grid.Mat, scale int, ks *optics.KernelSet, dose f
 	if err != nil {
 		return nil, err
 	}
-	spec := grid.ComplexFromReal(mask)
-	sp := s.Recorder.StartSpan("litho.fft_forward")
-	planN.Forward(spec)
-	sp.End()
+	spec := s.maskSpectrum(planN, mask)
 
 	f := &Field{M: m, Spec: spec, Dose: dose, KS: ks, Intensity: grid.NewMat(m, m)}
 	sc := complex(1/float64(scale*scale), 0)
-	sp = s.Recorder.StartSpan("litho.socs")
 	s.accumulateSOCS(f, planM, spec, m, sc, false)
-	sp.End()
 	s.Recorder.Add("litho.eq7_sims", 1)
 	return f, nil
 }
@@ -286,8 +377,12 @@ func (s *Sim) Gradient(f *Field, dLdI *grid.Mat) (*grid.Mat, error) {
 	sp := s.Recorder.StartSpan("litho.adjoint")
 	defer sp.End()
 	s.Recorder.Add("litho.adjoint_calls", 1)
+	banded := s.Engine != EngineReference
 	nk := len(f.KS.Kernels)
 	p := f.KS.P
+	if f.Amps == nil {
+		s.Recorder.Add("litho.kernel_ffts", int64(nk))
+	}
 	patches := make([]*grid.CMat, nk)
 	grid.ParallelFor(s.kernelWorkers(nk), nk, func(k int) {
 		h := f.KS.Kernels[k]
@@ -295,6 +390,12 @@ func (s *Sim) Gradient(f *Field, dLdI *grid.Mat) (*grid.Mat, error) {
 		recomputed := false
 		if f.Amps != nil {
 			amp = f.Amps[k]
+		} else if banded {
+			kprod, band := fft.ApplyKernelBand(s.cscratch.Get(f.M, f.M), fft.BandNone, f.Spec, h, f.M, 1)
+			amp = s.cscratch.Get(f.M, f.M)
+			plan.InverseBand(amp, kprod, band)
+			s.cscratch.Put(kprod)
+			recomputed = true
 		} else {
 			amp = fft.ApplyKernel(s.cscratch.Get(f.M, f.M), f.Spec, h, f.M, 1)
 			plan.Inverse(amp)
@@ -313,14 +414,31 @@ func (s *Sim) Gradient(f *Field, dLdI *grid.Mat) (*grid.Mat, error) {
 		patches[k] = fft.KernelAdjointPatch(s.cscratch.Get(p, p), prod, h, w)
 		s.cscratch.Put(prod)
 	})
+	// The patch fold only populates the P×P band of acc, so the band
+	// engines clear just those rows and run the pruned out-of-place inverse
+	// — bit-identical to the dense Zero + Inverse below.
+	accBand := fft.BandSpec{Half: p / 2}
 	acc := s.cscratch.Get(f.M, f.M)
-	acc.Zero()
+	useBand := banded && !accBand.Covers(f.M)
+	if useBand {
+		accBand.ZeroRows(acc)
+	} else {
+		acc.Zero()
+	}
 	for _, patch := range patches {
 		fft.AddKernelPatch(acc, patch)
 		s.cscratch.Put(patch)
 	}
-	plan.Inverse(acc)
-	out := acc.Real()
+	var out *grid.Mat
+	if useBand {
+		img := s.cscratch.Get(f.M, f.M)
+		plan.InverseBand(img, acc, accBand)
+		out = img.Real()
+		s.cscratch.Put(img)
+	} else {
+		plan.Inverse(acc)
+		out = acc.Real()
+	}
 	s.cscratch.Put(acc)
 	return out, nil
 }
