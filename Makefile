@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race trace-smoke bench bench-workers bench-fft bench-compare vet
+.PHONY: all build test race trace-smoke bench bench-workers bench-fft bench-compare vet lint check
 
 all: build test
 
@@ -33,6 +33,17 @@ trace-smoke:
 
 vet:
 	$(GO) vet ./...
+
+# Static-analysis lane: the five repo-specific analyzers (floatcmp,
+# maporder, scratchalias, hotalloc, errcheck) over every package. Exits
+# non-zero on any finding; see README ("iltlint") and DESIGN.md ("Static
+# analysis"). The ./... wildcard skips testdata, so the deliberately
+# violating lint fixtures are not linted.
+lint:
+	$(GO) run ./cmd/iltlint ./...
+
+# The pre-commit umbrella: everything a change must pass before review.
+check: build vet lint test
 
 bench:
 	$(GO) test -bench . -benchmem ./...

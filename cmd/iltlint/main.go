@@ -1,0 +1,112 @@
+// Command iltlint runs the repo-specific static-analysis suite
+// (internal/lint) over the module: the determinism, aliasing and
+// zero-alloc invariants the perf PRs proved by hand, enforced
+// mechanically.
+//
+//	iltlint ./...                  # run every rule, text output
+//	iltlint -json ./...            # stable machine-readable output
+//	iltlint -rules floatcmp ./...  # a subset of rules
+//	iltlint -fix ./...             # apply suggested fixes, then re-check
+//	iltlint -list                  # describe the rules
+//
+// Exit codes: 0 clean, 1 findings remain, 2 usage or load/type error.
+// The JSON schema is {"count": N, "diagnostics": [{"file", "line",
+// "col", "rule", "message", "fixable"}]}, ordered by file, line, column,
+// rule, message — byte-identical across runs over the same tree.
+//
+// Findings are suppressed line-by-line with a mandatory-reason directive:
+//
+//	//lint:ignore <rule>[,<rule>] <reason>
+//
+// See DESIGN.md, "Static analysis".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON (stable order)")
+	fix := flag.Bool("fix", false, "apply suggested fixes in place, then re-run the analysis")
+	rules := flag.String("rules", "all", "comma-separated rule subset to run")
+	list := flag.Bool("list", false, "list the registered rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: iltlint [-json] [-fix] [-rules r1,r2] [-list] [packages]\n\n"+
+				"Runs the repo's static-analysis suite (default patterns: ./...).\n"+
+				"Exit codes: 0 clean, 1 findings, 2 load error.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := lint.Lookup(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iltlint:", err)
+		return 2
+	}
+	opts := lint.Options{Patterns: flag.Args(), Analyzers: analyzers}
+
+	res, err := lint.Run(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iltlint:", err)
+		return 2
+	}
+
+	if *fix && res.Fixable() > 0 {
+		counts, err := lint.ApplyFixes(res.Fset, res.Diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iltlint: applying fixes:", err)
+			return 2
+		}
+		files := make([]string, 0, len(counts))
+		total := 0
+		for f, n := range counts {
+			files = append(files, f)
+			total += n
+		}
+		sort.Strings(files)
+		for _, f := range files {
+			fmt.Fprintf(os.Stderr, "iltlint: fixed %d finding(s) in %s\n", counts[f], f)
+		}
+		if total > 0 {
+			// Re-analyze so the report reflects the tree as fixed.
+			res, err = lint.Run(opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "iltlint:", err)
+				return 2
+			}
+		}
+	}
+
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, res.Diags); err != nil {
+			fmt.Fprintln(os.Stderr, "iltlint:", err)
+			return 2
+		}
+	} else {
+		lint.WriteText(os.Stdout, res.Diags)
+	}
+	if len(res.Diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "iltlint: %d finding(s)\n", len(res.Diags))
+		}
+		return 1
+	}
+	return 0
+}

@@ -89,7 +89,9 @@ func run() error {
 		if name == "" {
 			continue
 		}
-		cfg.Recorder.Emit("run.start", telemetry.Fields{"tool": "mltables", "name": name})
+		if cfg.Recorder.Enabled() {
+			cfg.Recorder.Emit("run.start", telemetry.Fields{"tool": "mltables", "name": name})
+		}
 		t, err := experiments.Run(cfg, name)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)

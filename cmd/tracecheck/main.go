@@ -5,10 +5,13 @@
 //	tracecheck -trace run.jsonl -min-coverage 0   # schema check only
 //
 // It re-validates the event schema (contiguous seq, non-decreasing ts,
-// required per-event fields, every opened stage covered by iter events) and
-// enforces the phase-timer coverage bound: when the trace reports a run.end
-// wall time, the summed phase seconds must land within the configured band
-// of it. The `make trace-smoke` target runs this after a small iltopt run.
+// required per-event fields, every opened stage covered by iter events),
+// asserts the determinism contract on tile events — each full-chip sweep
+// must be a gapless row-major walk starting at (0,0), failing with the
+// first offending event — and enforces the phase-timer coverage bound:
+// when the trace reports a run.end wall time, the summed phase seconds
+// must land within the configured band of it. The `make trace-smoke`
+// target runs this after a small iltopt run.
 package main
 
 import (
@@ -43,12 +46,14 @@ func run() error {
 			return err
 		}
 		stats, err := telemetry.ValidateTrace(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", *trace, err)
 		}
-		fmt.Printf("%s: %d events, %d iterations over %d stages, %d phases\n",
-			*trace, stats.Events, stats.Iters, len(stats.StagesOpened), stats.Phases)
+		fmt.Printf("%s: %d events, %d iterations over %d stages, %d tiles, %d phases\n",
+			*trace, stats.Events, stats.Iters, len(stats.StagesOpened), stats.Tiles, stats.Phases)
 		if stats.WallSec > 0 && *minCov > 0 {
 			cov := stats.Coverage()
 			fmt.Printf("phase coverage: %.3fs of %.3fs wall = %.1f%%\n",

@@ -51,6 +51,7 @@ func main() {
 	fmt.Println("  dose±    raw mask   optimized")
 	for i, d := range deltas {
 		marker := ""
+		//lint:ignore floatcmp d ranges over the literal slice above, so 0.02 compares bit-identically to its own literal
 		if d == 0.02 {
 			marker = "  ← the paper's PVB condition"
 		}

@@ -107,13 +107,15 @@ func Fig4(c Config) (*report.Table, error) {
 		}
 		var sraf float64
 		for i := range res.Mask.Data {
-			if far.Data[i] < 0.5 && res.Mask.Data[i] == 1 {
+			// The output mask is binarized to exact {0, 1}; > 0.5 reads
+			// "pixel is bright" without relying on float equality.
+			if far.Data[i] < 0.5 && res.Mask.Data[i] > 0.5 {
 				sraf++
 			}
 		}
 		sraf *= c.PixelNM() * c.PixelNM()
 		paperL2, paperPVB := PaperFig4.TR0L2, PaperFig4.TR0PVB
-		if tr == 0.5 {
+		if tr != 0 { // tr ∈ {0, 0.5}: the nonzero ablation point
 			paperL2, paperPVB = PaperFig4.TR05L2, PaperFig4.TR05PVB
 		}
 		t.Add(report.F(tr, 1), report.F(rep.L2, 0), report.F(rep.PVB, 0),

@@ -203,7 +203,8 @@ func Verify(c Config) (*report.Table, error) {
 			}
 			var sraf float64
 			for i := range res.Mask.Data {
-				if far.Data[i] < 0.5 && res.Mask.Data[i] == 1 {
+				// Binarized mask: > 0.5 is the equality-free bright test.
+				if far.Data[i] < 0.5 && res.Mask.Data[i] > 0.5 {
 					sraf++
 				}
 			}

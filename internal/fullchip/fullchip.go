@@ -198,9 +198,11 @@ func Optimize(opt Options, target *grid.Mat) (*Result, error) {
 			res.ILTSeconds += oc.seconds
 			res.TileSeconds[idx] = oc.seconds
 		}
-		opt.Recorder.Emit("tile", telemetry.Fields{
-			"tx": idx % nx, "ty": idx / nx, "sec": oc.seconds, "skipped": !oc.run,
-		})
+		if opt.Recorder.Enabled() {
+			opt.Recorder.Emit("tile", telemetry.Fields{
+				"tx": idx % nx, "ty": idx / nx, "sec": oc.seconds, "skipped": !oc.run,
+			})
+		}
 	}
 	opt.Recorder.Emit("fullchip.end", telemetry.Fields{
 		"tiles_total": res.TilesTotal, "tiles_run": res.TilesRun,

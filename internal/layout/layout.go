@@ -90,7 +90,7 @@ func (l *Layout) Save(path string) error {
 		return fmt.Errorf("layout: %w", err)
 	}
 	if err := l.Write(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write error takes precedence
 		return fmt.Errorf("layout: write %s: %w", path, err)
 	}
 	return f.Close()

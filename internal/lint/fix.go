@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// offsetEdit is an Edit resolved to byte offsets within one file.
+type offsetEdit struct {
+	start, end int
+	new        string
+}
+
+// ApplyFixes applies every suggested fix in diags to the files on disk and
+// gofmts the results. Fixes whose edits overlap an already-accepted edit in
+// the same file are skipped (first-come in diagnostic order wins). It
+// returns the number of fixes applied per file.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (map[string]int, error) {
+	type fileEdits struct {
+		edits   []offsetEdit
+		applied int
+	}
+	perFile := map[string]*fileEdits{}
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		var resolved []offsetEdit
+		file := ""
+		ok := true
+		for _, e := range d.Fix.Edits {
+			tf := fset.File(e.Pos)
+			if tf == nil || (e.End != token.NoPos && fset.File(e.End) != tf) {
+				ok = false
+				break
+			}
+			if file == "" {
+				file = tf.Name()
+			} else if file != tf.Name() {
+				ok = false // a fix must stay within one file
+				break
+			}
+			end := e.End
+			if end == token.NoPos {
+				end = e.Pos
+			}
+			resolved = append(resolved, offsetEdit{tf.Offset(e.Pos), tf.Offset(end), e.New})
+		}
+		if !ok || file == "" {
+			continue
+		}
+		fe := perFile[file]
+		if fe == nil {
+			fe = &fileEdits{}
+			perFile[file] = fe
+		}
+		if overlaps(fe.edits, resolved) {
+			continue
+		}
+		fe.edits = append(fe.edits, resolved...)
+		fe.applied++
+	}
+
+	counts := map[string]int{}
+	for file, fe := range perFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return counts, err
+		}
+		out, err := applyEdits(src, fe.edits)
+		if err != nil {
+			return counts, fmt.Errorf("%s: %v", file, err)
+		}
+		if formatted, err := format.Source(out); err == nil {
+			out = formatted
+		}
+		if err := os.WriteFile(file, out, 0o644); err != nil {
+			return counts, err
+		}
+		counts[file] = fe.applied
+	}
+	return counts, nil
+}
+
+// overlaps reports whether any edit in next intersects an edit in have.
+// Pure insertions at the same offset count as overlapping: their order
+// would be ambiguous.
+func overlaps(have, next []offsetEdit) bool {
+	for _, a := range have {
+		for _, b := range next {
+			if a.start == b.start {
+				return true
+			}
+			lo, hi := a, b
+			if b.start < a.start {
+				lo, hi = b, a
+			}
+			if hi.start < lo.end {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// applyEdits splices the edits into src, validating bounds and ordering.
+func applyEdits(src []byte, edits []offsetEdit) ([]byte, error) {
+	sorted := make([]offsetEdit, len(edits))
+	copy(sorted, edits)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].start < sorted[j].start })
+	var out []byte
+	prev := 0
+	for _, e := range sorted {
+		if e.start < prev || e.end < e.start || e.end > len(src) {
+			return nil, fmt.Errorf("conflicting or out-of-range edit at offset %d", e.start)
+		}
+		out = append(out, src[prev:e.start]...)
+		out = append(out, e.new...)
+		prev = e.end
+	}
+	out = append(out, src[prev:]...)
+	return out, nil
+}

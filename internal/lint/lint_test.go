@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// A want is one expected diagnostic, parsed from a fixture comment:
+//
+//	expr // want "regex"
+//	// want+1 "regex"   (diagnostic expected on the next line)
+//
+// Several quoted regexes on one line expect several diagnostics there.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRe = regexp.MustCompile(`// want(\+\d+)? (.+)$`)
+var wantArgRe = regexp.MustCompile(`"([^"]*)"`)
+
+// parseWants scans every .go file of a fixture directory for want comments.
+func parseWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixture files in %s (%v)", dir, err)
+	}
+	var wants []*want
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRe.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			target := line
+			if m[1] != "" {
+				fmt.Sscanf(m[1], "+%d", &target)
+				target += line
+			}
+			args := wantArgRe.FindAllStringSubmatch(m[2], -1)
+			if len(args) == 0 {
+				t.Errorf("%s:%d: want comment without a quoted regex", path, line)
+			}
+			for _, a := range args {
+				re, err := regexp.Compile(a[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regex %q: %v", path, line, a[1], err)
+				}
+				wants = append(wants, &want{file: filepath.Base(path), line: target, re: re})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return wants
+}
+
+// testFixture runs one analyzer over a fixture package and checks its
+// diagnostics against the // want annotations: every diagnostic must match
+// exactly one unconsumed want and every want must be consumed.
+func testFixture(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	res, err := Run(Options{Dir: dir, Patterns: []string{"."}, Analyzers: []*Analyzer{a}})
+	if err != nil {
+		t.Fatalf("lint run over %s: %v", dir, err)
+	}
+	wants := parseWants(t, dir)
+	for _, d := range res.Diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q was not reported", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestFloatCmpFixture(t *testing.T)     { testFixture(t, FloatCmp, "testdata/src/floatcmp") }
+func TestMapOrderFixture(t *testing.T)     { testFixture(t, MapOrder, "testdata/src/maporder") }
+func TestScratchAliasFixture(t *testing.T) { testFixture(t, ScratchAlias, "testdata/src/scratchalias") }
+func TestHotAllocFixture(t *testing.T)     { testFixture(t, HotAlloc, "testdata/src/hotalloc") }
+func TestErrCheckMainFixture(t *testing.T) { testFixture(t, ErrCheck, "testdata/src/errcheck") }
+func TestErrCheckLibFixture(t *testing.T)  { testFixture(t, ErrCheck, "testdata/src/errchecklib") }
+
+// TestDriverJSONGolden runs the full five-analyzer suite over the driver
+// fixture — one violation per rule — and pins the -json byte stream: the
+// schema, the (file, line, col, rule) ordering, and run-to-run determinism.
+func TestDriverJSONGolden(t *testing.T) {
+	runJSON := func() []byte {
+		res, err := Run(Options{Dir: "testdata/src/driver", Patterns: []string{"."}})
+		if err != nil {
+			t.Fatalf("lint run: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, res.Diags); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first, second := runJSON(), runJSON()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("two runs over the same tree differ:\n--- first\n%s--- second\n%s", first, second)
+	}
+
+	rules := map[string]bool{}
+	for _, a := range All {
+		rules[a.Name] = true
+	}
+	for name := range rules {
+		if !strings.Contains(string(first), `"rule": "`+name+`"`) {
+			t.Errorf("driver fixture did not exercise rule %s:\n%s", name, first)
+		}
+	}
+
+	golden := filepath.Join("testdata", "driver.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, first, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantBytes, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/lint -run Golden -update` to create it)", err)
+	}
+	if !bytes.Equal(first, wantBytes) {
+		t.Errorf("JSON output diverged from %s (re-run with -update if intended):\ngot:\n%s\nwant:\n%s",
+			golden, first, wantBytes)
+	}
+}
+
+// TestApplyFixesFloatCmp runs the floatcmp fix end to end against a
+// throwaway module: lint, apply, re-lint — the finding must be gone and
+// the rewrite must be gofmt-clean.
+func TestApplyFixesFloatCmp(t *testing.T) {
+	dir := t.TempDir()
+	src := `package main
+
+import "math"
+
+func main() {
+	a, b := math.Sqrt(2), math.Sqrt(3)
+	if a == b {
+		println("equal")
+	}
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixtest\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "main.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := Options{Dir: dir, Patterns: []string{"."}, Analyzers: []*Analyzer{FloatCmp}}
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diags) != 1 || res.Diags[0].Fix == nil {
+		t.Fatalf("want 1 fixable diagnostic, got %v", res.Diags)
+	}
+	fixed, err := ApplyFixes(res.Fset, res.Diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range fixed {
+		total += n
+	}
+	if total != 1 {
+		t.Errorf("fixed = %v, want exactly 1 applied fix", fixed)
+	}
+	out, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "math.Float64bits(a) == math.Float64bits(b)") {
+		t.Errorf("fix not applied:\n%s", out)
+	}
+	res, err = Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diags) != 0 {
+		t.Errorf("diagnostics survive the fix: %v", res.Diags)
+	}
+}

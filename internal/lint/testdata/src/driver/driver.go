@@ -1,0 +1,48 @@
+// Package driver is the cmd/iltlint golden fixture: one violation per
+// rule, so a full five-analyzer run exercises the JSON schema, the
+// deterministic ordering, and the fixable flag in one package.
+package driver
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/grid"
+	"repro/internal/telemetry"
+)
+
+// floatcmp (fixable: math is imported, both operands float64).
+func converged(prev, cur float64) bool {
+	return prev == cur
+}
+
+// maporder: float fold in map order.
+func fold(weights map[string]float64) float64 {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	return total
+}
+
+// scratchalias: the lease escapes via return.
+func lease(p *grid.CMatPool, n int) *grid.CMat {
+	buf := p.Get(n, n)
+	return buf
+}
+
+// hotalloc: unguarded Fields literal in a telemetry-instrumented loop.
+func instrument(rec *telemetry.Recorder, n int) {
+	for i := 0; i < n; i++ {
+		rec.Emit("iter", telemetry.Fields{"i": i})
+	}
+}
+
+// errcheck: dropped Close error.
+func drop(f *os.File) {
+	f.Close()
+}
+
+var _ = fmt.Sprintf
+var _ = math.Pi

@@ -1,0 +1,36 @@
+// Command errcheck is a lint fixture: a main package where every dropped
+// error return must fire, not just the Close/Flush/Sync paths.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func work() error { return nil }
+
+func main() {
+	f, err := os.Create("out.txt")
+	if err != nil {
+		return
+	}
+	fmt.Fprintln(f, "data") // fmt output to a stream is exempt
+	work()                  // want "unchecked error returned by work in a main package"
+	f.Close()               // want "unchecked error returned by f.Close"
+
+	checked()
+	suppressed(f)
+}
+
+// The accepted spellings: handle the error or assign it away deliberately.
+func checked() {
+	if err := work(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	_ = work()
+}
+
+func suppressed(f *os.File) {
+	//lint:ignore errcheck best-effort cleanup on a path that already failed
+	f.Close()
+}

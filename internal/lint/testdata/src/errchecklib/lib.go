@@ -1,0 +1,48 @@
+// Package errchecklib is a lint fixture: outside main packages only
+// dropped Close/Flush/Sync errors fire — that is where lost writes hide.
+package errchecklib
+
+import (
+	"bufio"
+	"os"
+)
+
+func compute() error { return nil }
+
+// Non-closeish dropped errors are tolerated in libraries (vet and review
+// handle them); errcheck-lite stays narrow to keep its signal high.
+func tolerated() {
+	compute()
+}
+
+func flushDropped(w *bufio.Writer) {
+	w.Flush() // want "unchecked error returned by w.Flush"
+}
+
+func closeDropped(f *os.File) {
+	f.Close() // want "unchecked error returned by f.Close"
+}
+
+// defer f.Close() on read paths is accepted idiom.
+func deferred(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return compute()
+}
+
+// Folding the Close error into the function result is the sanctioned
+// write-path pattern.
+func folded(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err = f.WriteString("data\n"); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

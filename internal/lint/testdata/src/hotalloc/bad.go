@@ -1,0 +1,46 @@
+// Package hotalloc is a lint fixture: every allocation below sits inside
+// a telemetry-instrumented loop without the Enabled() guard and must fire.
+package hotalloc
+
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
+
+// An unguarded Fields literal allocates a map per iteration even when the
+// recorder is disabled.
+func unguardedEmit(rec *telemetry.Recorder, n int) {
+	for i := 0; i < n; i++ {
+		rec.Emit("iter", telemetry.Fields{"i": i}) // want "map literal allocates per iteration"
+	}
+}
+
+// Progressf boxes its ...any arguments on every pass.
+func unguardedProgress(rec *telemetry.Recorder, n int) {
+	for i := 0; i < n; i++ {
+		rec.Progressf("step %d of %d", i, n) // want "Progressf boxes its arguments"
+	}
+}
+
+// Sprintf builds a string per iteration; the span makes the loop hot.
+func sprintInLoop(rec *telemetry.Recorder, items []string) []string {
+	out := make([]string, 0, len(items))
+	for i, s := range items {
+		sp := rec.StartSpan("format")
+		out = append(out, fmt.Sprintf("%d:%s", i, s)) // want "fmt.Sprintf allocates per iteration"
+		sp.End()
+	}
+	return out
+}
+
+// A closure literal is a per-iteration heap allocation once it captures.
+func closureInLoop(rec *telemetry.Recorder, n int) {
+	total := 0
+	for i := 0; i < n; i++ {
+		add := func() int { return i } // want "closure allocated per iteration"
+		total += add()
+		rec.Add("calls", 1)
+	}
+	_ = total
+}

@@ -1,0 +1,11 @@
+package hotalloc
+
+import "repro/internal/telemetry"
+
+// A reasoned directive accepts a deliberate per-iteration allocation.
+func suppressedEmit(rec *telemetry.Recorder, stages int) {
+	for s := 0; s < stages; s++ {
+		//lint:ignore hotalloc this loop runs once per stage, not per pixel; the Fields map is negligible
+		rec.Emit("stage", telemetry.Fields{"stage": s})
+	}
+}

@@ -1,0 +1,43 @@
+// Package maporder is a lint fixture: map-ordered output and map-ordered
+// float reductions in this file must fire the maporder analyzer.
+package maporder
+
+import (
+	"fmt"
+	"io"
+)
+
+// Float accumulation in map order: the sum depends on visit order.
+func sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "floating-point reduction"
+	}
+	return total
+}
+
+// The spelled-out self-assignment form of the same reduction.
+func selfAssign(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want "floating-point reduction"
+	}
+	return total
+}
+
+// fmt output in map order randomizes the stream.
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "map iteration order reaches output through fmt.Fprintf"
+	}
+}
+
+// Writer methods are sinks too.
+func raw(w io.Writer, m map[string][]byte) error {
+	for _, v := range m {
+		if _, err := w.Write(v); err != nil { // want "map iteration order reaches output through Writer.Write"
+			return err
+		}
+	}
+	return nil
+}

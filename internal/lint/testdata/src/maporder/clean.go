@@ -1,0 +1,42 @@
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The sanctioned pattern: collect the keys, sort, then iterate.
+func sortedDump(w io.Writer, m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+		fmt.Fprintf(w, "%s=%g\n", k, m[k])
+	}
+	return total
+}
+
+// Integer accumulation is order-free and stays legal.
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Building an intermediate in map order is fine as long as no output or
+// float fold happens before sorting.
+func collect(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

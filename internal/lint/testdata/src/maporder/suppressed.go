@@ -1,0 +1,11 @@
+package maporder
+
+// A reasoned directive accepts a deliberate exception.
+func suppressedSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		//lint:ignore maporder every caller passes single-entry maps, so there is no order to vary
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,51 @@
+// Package scratchalias is a lint fixture: every pool lease below escapes
+// its call scope and must fire the scratchalias analyzer.
+package scratchalias
+
+import (
+	"sync"
+
+	"repro/internal/grid"
+)
+
+var leaked *grid.CMat
+
+type holder struct {
+	buf *grid.Mat
+}
+
+// Returning a leased buffer hands pool memory to the caller.
+func escapeReturn(p *grid.CMatPool, n int) *grid.CMat {
+	buf := p.Get(n, n)
+	return buf // want "escapes via return"
+}
+
+// Storing a lease in a struct field outlives the call.
+func escapeField(p *grid.MatPool, h *holder, n int) {
+	h.buf = p.Get(n, n) // want "escapes into field or variable h.buf"
+}
+
+// Package-level variables are the widest possible escape.
+func escapeGlobal(p *grid.CMatPool, n int) {
+	leaked = p.Get(n, n) // want "package-level variable leaked"
+}
+
+// A channel send publishes the lease to another goroutine.
+func escapeSend(p *grid.CMatPool, ch chan *grid.CMat, n int) {
+	ch <- p.Get(n, n) // want "sent on a channel"
+}
+
+// Taint flows through calls that may return their argument.
+func escapeThroughCall(p *grid.CMatPool, n int) *grid.CMat {
+	buf := p.Get(n, n)
+	out := passthrough(buf)
+	return out // want "escapes via return"
+}
+
+func passthrough(m *grid.CMat) *grid.CMat { return m }
+
+// sync.Pool leases are held to the same contract as the grid pools.
+func escapeSyncPool(p *sync.Pool) any {
+	v := p.Get()
+	return v // want "escapes via return"
+}

@@ -1,0 +1,41 @@
+package scratchalias
+
+import "repro/internal/grid"
+
+// The lease contract: Get, use, Put — all within one call. Copying
+// elements out is fine; only the buffer itself must not escape.
+func leaseScoped(p *grid.CMatPool, n int) complex128 {
+	buf := p.Get(n, n)
+	defer p.Put(buf)
+	for i := range buf.Data {
+		buf.Data[i] = complex(float64(i), 0)
+	}
+	return buf.Data[0] // element copy, not an alias
+}
+
+// Clean reassignment kills the taint: the returned buffer is a fresh
+// allocation, not the lease.
+func reassigned(p *grid.CMatPool, n int, keep bool) *grid.CMat {
+	buf := p.Get(n, n)
+	sum := buf.Data[0]
+	p.Put(buf)
+	if keep {
+		buf = grid.NewCMat(n, n)
+		buf.Data[0] = sum
+		return buf
+	}
+	return nil
+}
+
+// The branch-sensitive walk keeps the pooled branch guarded while the
+// allocating branch may escape.
+func branchy(p *grid.MatPool, n int, escape bool) *grid.Mat {
+	var out *grid.Mat
+	if escape {
+		out = grid.NewMat(n, n)
+	}
+	tmp := p.Get(n, n)
+	tmp.Data[0] = 1
+	p.Put(tmp)
+	return out
+}

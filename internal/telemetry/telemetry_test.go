@@ -235,6 +235,62 @@ func TestValidateTraceRejects(t *testing.T) {
 	}
 }
 
+// tileTrace renders a sequence of (tx,ty) tiles — with "end" closing a
+// sweep — as a schema-valid JSONL trace.
+func tileTrace(steps ...[2]int) string {
+	var b strings.Builder
+	for i, s := range steps {
+		if s[0] < 0 {
+			fmt.Fprintf(&b, `{"event":"fullchip.end","seq":%d,"ts":%d}`+"\n", i+1, i)
+			continue
+		}
+		fmt.Fprintf(&b, `{"event":"tile","seq":%d,"ts":%d,"tx":%d,"ty":%d}`+"\n", i+1, i, s[0], s[1])
+	}
+	return b.String()
+}
+
+func TestValidateTraceTileOrder(t *testing.T) {
+	end := [2]int{-1, -1}
+	t.Run("row-major sweep accepted", func(t *testing.T) {
+		trace := tileTrace([2]int{0, 0}, [2]int{1, 0}, [2]int{0, 1}, [2]int{1, 1}, end)
+		stats, err := ValidateTrace(strings.NewReader(trace))
+		if err != nil {
+			t.Fatalf("valid 2×2 sweep rejected: %v", err)
+		}
+		if stats.Tiles != 4 {
+			t.Errorf("Tiles = %d, want 4", stats.Tiles)
+		}
+	})
+	t.Run("second sweep restarts at origin", func(t *testing.T) {
+		trace := tileTrace([2]int{0, 0}, [2]int{1, 0}, end, [2]int{0, 0}, [2]int{1, 0}, end)
+		if _, err := ValidateTrace(strings.NewReader(trace)); err != nil {
+			t.Fatalf("back-to-back sweeps rejected: %v", err)
+		}
+	})
+
+	rejects := []struct {
+		name  string
+		steps [][2]int
+		want  string
+	}{
+		{"starts off origin", [][2]int{{1, 0}}, "want (0,0)"},
+		{"skips a tile", [][2]int{{0, 0}, {1, 1}}, "out of row-major order"},
+		{"repeats a tile", [][2]int{{0, 0}, {0, 0}}, "out of row-major order"},
+		{"column-major walk", [][2]int{{0, 0}, {0, 1}, {1, 0}}, "out of row-major order"},
+		{"short row", [][2]int{{0, 0}, {1, 0}, {0, 1}, {0, 2}}, "row 1 ended after 1 tiles, want 2"},
+		{"long row", [][2]int{{0, 0}, {0, 1}, {1, 1}}, "past row width 1"},
+		{"sweep ends mid-row", [][2]int{{0, 0}, {1, 0}, {0, 1}, {-1, -1}}, "ended mid-row"},
+	}
+	for _, tc := range rejects {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ValidateTrace(strings.NewReader(tileTrace(tc.steps...)))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
 func TestManifestRoundTrip(t *testing.T) {
 	clk := newFakeClock()
 	r := New(WithClock(clk.Now))

@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // TraceStats summarizes a validated JSONL trace.
 type TraceStats struct {
 	Events       int
 	Iters        int
+	Tiles        int         // tile events seen (all sweeps)
 	StageIters   map[int]int // stage index → iteration events seen
 	StagesOpened map[int]int // stage index → budget from stage.start
 	WallSec      float64     // from the run.end event (0 if absent)
@@ -34,6 +36,12 @@ func (s *TraceStats) Coverage() float64 {
 //     strictly increasing from 1, and a non-decreasing numeric "ts";
 //   - "stage.start" events carry stage/scale/iters, "iter" events carry
 //     stage/iter/loss, "tile" events carry tx/ty;
+//   - tile events form a gapless row-major sweep: the first tile is (0,0)
+//     and each successor is either (ty, tx+1) or (ty+1, 0). A
+//     "fullchip.end" event closes the sweep, so a trace may hold several
+//     full-chip runs. This pins down the determinism contract the tiled
+//     executor promises: tiles may run concurrently, but the trace must
+//     read as if they ran serially;
 //   - every stage opened by a stage.start with a positive budget is
 //     covered by at least one iter event.
 //
@@ -45,6 +53,8 @@ func ValidateTrace(r io.Reader) (*TraceStats, error) {
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	var lastSeq int64
 	lastTS := -1.0
+	lastTX, lastTY, haveTile := 0, 0, false
+	sweepNX := 0 // learned at the first row wrap; 0 while still in row 0
 	line := 0
 	for sc.Scan() {
 		line++
@@ -107,19 +117,56 @@ func ValidateTrace(r io.Reader) (*TraceStats, error) {
 			stats.StageIters[stage]++
 			stats.Iters++
 		case "tile":
-			if _, err := requireInt(obj, "tx", line, name); err != nil {
+			tx, err := requireInt(obj, "tx", line, name)
+			if err != nil {
 				return nil, err
 			}
-			if _, err := requireInt(obj, "ty", line, name); err != nil {
+			ty, err := requireInt(obj, "ty", line, name)
+			if err != nil {
 				return nil, err
 			}
+			switch {
+			case !haveTile:
+				if tx != 0 || ty != 0 {
+					return nil, fmt.Errorf("trace line %d: sweep starts at tile (%d,%d), want (0,0)", line, tx, ty)
+				}
+			case ty == lastTY && tx == lastTX+1:
+				if sweepNX > 0 && tx >= sweepNX {
+					return nil, fmt.Errorf("trace line %d: tile (%d,%d) past row width %d", line, tx, ty, sweepNX)
+				}
+			case ty == lastTY+1 && tx == 0:
+				if sweepNX == 0 {
+					sweepNX = lastTX + 1
+				} else if lastTX+1 != sweepNX {
+					return nil, fmt.Errorf("trace line %d: row %d ended after %d tiles, want %d",
+						line, lastTY, lastTX+1, sweepNX)
+				}
+			default:
+				return nil, fmt.Errorf("trace line %d: tile (%d,%d) out of row-major order after (%d,%d)",
+					line, tx, ty, lastTX, lastTY)
+			}
+			lastTX, lastTY, haveTile = tx, ty, true
+			stats.Tiles++
+		case "fullchip.end":
+			if haveTile && sweepNX > 0 && lastTX+1 != sweepNX {
+				return nil, fmt.Errorf("trace line %d: sweep ended mid-row at tile (%d,%d), row width is %d",
+					line, lastTX, lastTY, sweepNX)
+			}
+			haveTile, sweepNX = false, 0 // the sweep is closed; a later run restarts at (0,0)
 		case "run.end":
 			if w, ok := obj["wall_sec"].(float64); ok {
 				stats.WallSec = w
 			}
 		case "phases":
-			for k, v := range obj {
-				m, ok := v.(map[string]any)
+			// Sorted keys: float addition is order-sensitive, and map
+			// iteration order must never leak into a reported number.
+			keys := make([]string, 0, len(obj))
+			for k := range obj {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				m, ok := obj[k].(map[string]any)
 				if !ok || k == "counters" {
 					continue
 				}
