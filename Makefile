@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race trace-smoke bench bench-workers bench-fft bench-compare vet lint check
+.PHONY: all build test race trace-smoke bench bench-workers bench-fft bench-compare vet lint bench-lint check
 
 all: build test
 
@@ -34,13 +34,30 @@ trace-smoke:
 vet:
 	$(GO) vet ./...
 
-# Static-analysis lane: the five repo-specific analyzers (floatcmp,
-# maporder, scratchalias, hotalloc, errcheck) over every package. Exits
-# non-zero on any finding; see README ("iltlint") and DESIGN.md ("Static
-# analysis"). The ./... wildcard skips testdata, so the deliberately
-# violating lint fixtures are not linted.
-lint:
-	$(GO) run ./cmd/iltlint ./...
+# Static-analysis lane: the eight repo-specific analyzers (floatcmp,
+# maporder, scratchalias, hotalloc, errcheck, gridres, leasepath,
+# atomicfield) over every package. The binary is built once into bin/ (the
+# go build cache makes rebuilds near-free) instead of paying `go run`'s
+# link-and-copy on every invocation; on findings it exits 1 with per-rule
+# counts. See README ("iltlint") and DESIGN.md ("Static analysis"). The
+# ./... wildcard skips testdata, so the deliberately violating lint
+# fixtures are not linted.
+BIN_DIR := bin
+ILTLINT := $(BIN_DIR)/iltlint
+
+$(ILTLINT): FORCE
+	@mkdir -p $(BIN_DIR)
+	$(GO) build -o $(ILTLINT) ./cmd/iltlint
+
+FORCE:
+
+lint: $(ILTLINT)
+	$(ILTLINT) ./...
+
+# Lint-perf trajectory: median wall time of the full eight-rule suite over
+# ./... at workers=1 vs workers=GOMAXPROCS, recorded in BENCH_LINT.json.
+bench-lint: $(ILTLINT)
+	$(ILTLINT) -selfbench BENCH_LINT.json ./...
 
 # The pre-commit umbrella: everything a change must pass before review.
 check: build vet lint test

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AtomicField enforces all-or-nothing atomicity: a struct field that any
+// function in the package set touches through a function-style sync/atomic
+// call (atomic.AddInt64(&s.n, 1), atomic.LoadUint32(&s.flag), ...) must be
+// accessed that way everywhere — a single plain read or write of the same
+// field is a data race the moment the atomic site runs on another
+// goroutine, and with the parallel SOCS/tiling paths (PR 1) and telemetry
+// counters (PR 2) almost every function here can. The collection side runs
+// program-wide during BuildProgram (collectAtomicFields below), so a plain
+// access in package A is flagged against an atomic site in package B; the
+// report notes when the offending function is goroutine-reachable per the
+// call graph, which is when the race is live rather than latent.
+//
+// Typed atomics (atomic.Int64 et al.) make this mistake unrepresentable
+// and are what the repo itself uses; this rule exists to keep the
+// function-style escape hatch honest wherever it appears.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "flags plain accesses of struct fields that are accessed via sync/atomic elsewhere in the package set",
+	Run:  runAtomicField,
+}
+
+// atomicCallFieldKey returns the field key accessed by call when call is a
+// function-style sync/atomic operation on &x.F, plus the selector node.
+func atomicCallFieldKey(info *types.Info, call *ast.CallExpr) (string, *ast.SelectorExpr, bool) {
+	fun, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil, false
+	}
+	id, ok := fun.X.(*ast.Ident)
+	if !ok {
+		return "", nil, false
+	}
+	pn, ok := info.ObjectOf(id).(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return "", nil, false
+	}
+	name := fun.Sel.Name
+	if !strings.HasPrefix(name, "Add") && !strings.HasPrefix(name, "Load") &&
+		!strings.HasPrefix(name, "Store") && !strings.HasPrefix(name, "Swap") &&
+		!strings.HasPrefix(name, "CompareAndSwap") {
+		return "", nil, false
+	}
+	if len(call.Args) == 0 {
+		return "", nil, false
+	}
+	addr, ok := unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || addr.Op != token.AND {
+		return "", nil, false
+	}
+	sel, ok := unparen(addr.X).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil, false
+	}
+	key, ok := fieldKeyOf(info, sel)
+	if !ok {
+		return "", nil, false
+	}
+	return key, sel, true
+}
+
+// fieldKeyOf names the struct field selected by sel as
+// "pkg/path.Type.Field", or ok=false when sel is not a field selection on
+// a named type.
+func fieldKeyOf(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	fld, ok := s.Obj().(*types.Var)
+	if !ok || !fld.IsField() {
+		return "", false
+	}
+	rt := s.Recv()
+	if ptr, isPtr := rt.(*types.Pointer); isPtr {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + fld.Name(), true
+}
+
+// collectAtomicFields records, program-wide, every field reached through a
+// function-style sync/atomic call. Runs once per package during
+// BuildProgram, before any analyzer.
+func (p *Program) collectAtomicFields(pkg *Package) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if key, sel, ok := atomicCallFieldKey(pkg.Info, call); ok {
+				p.AtomicFields[key] = append(p.AtomicFields[key], p.Fset.Position(sel.Pos()))
+			}
+			return true
+		})
+	}
+	for _, positions := range p.AtomicFields {
+		sort.Slice(positions, func(i, j int) bool {
+			a, b := positions[i], positions[j]
+			if a.Filename != b.Filename {
+				return a.Filename < b.Filename
+			}
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			return a.Column < b.Column
+		})
+	}
+}
+
+func runAtomicField(pass *Pass) {
+	if pass.Prog == nil || len(pass.Prog.AtomicFields) == 0 {
+		return
+	}
+	info := pass.Info
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Selectors consumed by an atomic call in this body are the
+			// sanctioned accesses; everything else that resolves to a
+			// collected field is a violation.
+			sanctioned := map[*ast.SelectorExpr]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if _, sel, ok := atomicCallFieldKey(info, call); ok {
+						sanctioned[sel] = true
+					}
+				}
+				return true
+			})
+			reachable := false
+			if pkg := pass.Prog.packageOf(pass.Pkg); pkg != nil {
+				if fi := pass.Prog.FuncOf(pkg, fd); fi != nil {
+					reachable = pass.Prog.GoroutineReachable[fi.Key]
+				}
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] {
+					return true
+				}
+				key, ok := fieldKeyOf(info, sel)
+				if !ok {
+					return true
+				}
+				sites, hot := pass.Prog.AtomicFields[key]
+				if !hot {
+					return true
+				}
+				note := ""
+				if reachable {
+					note = "; this function is goroutine-reachable, so the race is live"
+				}
+				pass.Report(sel.Sel.Pos(), nil,
+					"field %s is accessed with sync/atomic at %s:%d but plainly here — mixed plain/atomic access is a data race%s (atomicfield contract, DESIGN.md)",
+					key, shortFile(sites[0].Filename), sites[0].Line, note)
+				return true
+			})
+		}
+	}
+}
+
+// shortFile trims a position filename to its base for stable messages
+// regardless of the absolute checkout path.
+func shortFile(name string) string {
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}

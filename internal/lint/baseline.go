@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// A Baseline is a recorded set of accepted findings: the ratchet that lets
+// a new rule land while the tree still carries legacy findings. Entries
+// are keyed by (file, rule, message) with a count — deliberately not by
+// line, so unrelated edits above a finding don't invalidate the baseline —
+// and a run filtered through a baseline fails only on findings beyond the
+// recorded budget for that key.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// A BaselineEntry is one accepted (file, rule, message) class and how many
+// identical findings of it were recorded.
+type BaselineEntry struct {
+	File    string `json:"file"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+func baselineKey(d Diagnostic) BaselineEntry {
+	return BaselineEntry{File: d.Pos.Filename, Rule: d.Rule, Message: d.Message}
+}
+
+// NewBaseline records diags as a baseline.
+func NewBaseline(diags []Diagnostic) *Baseline {
+	counts := map[BaselineEntry]int{}
+	for _, d := range diags {
+		counts[baselineKey(d)]++
+	}
+	b := &Baseline{Entries: make([]BaselineEntry, 0, len(counts))}
+	for k, n := range counts {
+		k.Count = n
+		b.Entries = append(b.Entries, k)
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Rule != c.Rule {
+			return a.Rule < c.Rule
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// Write emits the baseline as stable, indented JSON.
+func (b *Baseline) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// WriteBaselineFile records diags at path.
+func WriteBaselineFile(path string, diags []Diagnostic) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := NewBaseline(diags).Write(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// ReadBaselineFile loads a baseline written by WriteBaselineFile.
+func ReadBaselineFile(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b := new(Baseline)
+	if err := json.Unmarshal(data, b); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return b, nil
+}
+
+// Filter splits diags into the findings not covered by the baseline (in
+// input order) and the number it absorbed. Each entry absorbs up to Count
+// findings of its key.
+func (b *Baseline) Filter(diags []Diagnostic) (fresh []Diagnostic, absorbed int) {
+	budget := map[BaselineEntry]int{}
+	for _, e := range b.Entries {
+		k := e
+		k.Count = 0
+		budget[k] += e.Count
+	}
+	for _, d := range diags {
+		k := baselineKey(d)
+		if budget[k] > 0 {
+			budget[k]--
+			absorbed++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, absorbed
+}

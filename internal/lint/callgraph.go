@@ -1,0 +1,508 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the interprocedural substrate the cross-function
+// analyzers (gridres, leasepath, atomicfield) stand on: a call graph over
+// the loaded package set plus the bookkeeping needed to compute
+// per-function summaries bottom-up (see summary.go).
+//
+// Identity. Packages are type-checked independently against compiler
+// export data (see load.go), so one function has *different* types.Func
+// objects depending on whether it is seen from its defining package's
+// source or through an importer. Nodes are therefore keyed by FuncKey — a
+// stable, printable name derived from the package path, receiver type and
+// function name — and every resolution goes through keyOf. String keys
+// also make summaries and diagnostics trivially deterministic.
+//
+// Dynamic calls. A call through an interface is resolved against the
+// method sets of the loaded packages: every in-module concrete method with
+// the same name and an identical parameter/result signature (compared as
+// package-path-qualified strings, which survives the split type universes)
+// becomes a candidate edge. Candidate edges participate in
+// goroutine-reachability but deliberately not in summary lookup — with
+// several candidates the facts would have to be merged pessimistically,
+// which in practice dissolves them.
+
+// A FuncKey canonically names a function or method across the package set:
+// "pkg/path.Name" for functions, "pkg/path.(Recv).Name" for methods.
+type FuncKey string
+
+// keyOf derives the canonical key of fn, or "" when fn has no package
+// (builtins, error.Error on the universe interface).
+func keyOf(fn *types.Func) FuncKey {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if ptr, isPtr := rt.(*types.Pointer); isPtr {
+			rt = ptr.Elem()
+		}
+		if named, isNamed := rt.(*types.Named); isNamed {
+			return FuncKey(fn.Pkg().Path() + ".(" + named.Obj().Name() + ")." + fn.Name())
+		}
+		// Interface receiver or unnamed receiver type: key on the method
+		// name alone under its package; these are resolution sources, not
+		// graph nodes.
+		return FuncKey(fn.Pkg().Path() + ".(?)." + fn.Name())
+	}
+	return FuncKey(fn.Pkg().Path() + "." + fn.Name())
+}
+
+// A FuncInfo is one call-graph node: a function or method declared in one
+// of the loaded packages.
+type FuncInfo struct {
+	Key  FuncKey
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	// Callees holds the static out-edges; the value records whether some
+	// call site spawns the callee on a new goroutine (`go f(...)`, or a
+	// call inside a go'd closure).
+	Callees map[FuncKey]bool
+	// Dynamic holds method-set-resolved candidate targets of interface
+	// calls made by this function.
+	Dynamic map[FuncKey]bool
+	// Spawns reports whether the body contains any `go` statement.
+	Spawns bool
+
+	// Summary holds the bottom-up facts; populated by computeSummaries.
+	Summary *Summary
+}
+
+// A Program is the interprocedural view of one analysis run: every loaded
+// package, the call graph over them, and program-wide fact sets.
+type Program struct {
+	Fset  *token.FileSet
+	Pkgs  []*Package
+	Funcs map[FuncKey]*FuncInfo
+
+	// GoroutineReachable marks functions that can run off the spawning
+	// goroutine: transitive static callees of any `go` site or of a
+	// function-typed parameter a callee invokes on a goroutine
+	// (grid.ParallelFor's body).
+	GoroutineReachable map[FuncKey]bool
+
+	// AtomicFields maps a field key ("pkg/path.Type.Field") to the
+	// positions where it is accessed through a sync/atomic call, across
+	// the whole package set. See atomicfield.go.
+	AtomicFields map[string][]token.Position
+}
+
+// BuildProgram constructs the call graph and computes summaries for the
+// loaded packages. It is deterministic: iteration over packages and files
+// follows load order, and every map consumed for output is sorted.
+func BuildProgram(pkgs []*Package, fset *token.FileSet) *Program {
+	prog := &Program{
+		Fset:               fset,
+		Pkgs:               pkgs,
+		Funcs:              map[FuncKey]*FuncInfo{},
+		GoroutineReachable: map[FuncKey]bool{},
+		AtomicFields:       map[string][]token.Position{},
+	}
+
+	// Nodes: every declared function/method in the loaded set.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := keyOf(fn)
+				if key == "" {
+					continue
+				}
+				prog.Funcs[key] = &FuncInfo{
+					Key: key, Decl: fd, Pkg: pkg,
+					Callees: map[FuncKey]bool{},
+					Dynamic: map[FuncKey]bool{},
+				}
+			}
+		}
+	}
+
+	// Edges + atomic-field collection.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				node := prog.Funcs[keyOf(fn)]
+				if node == nil {
+					continue
+				}
+				prog.collectEdges(node, fd.Body, false)
+			}
+		}
+		prog.collectAtomicFields(pkg)
+	}
+
+	computeSummaries(prog)
+	prog.computeGoroutineReachable()
+	return prog
+}
+
+// collectEdges walks body recording call edges of node. spawned marks the
+// walk as running on a new goroutine (inside a go'd closure): every edge
+// found there is a spawn edge.
+func (p *Program) collectEdges(node *FuncInfo, body ast.Node, spawned bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			p.recordCall(node, n.Call, true)
+			if lit, ok := unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				p.collectEdges(node, lit.Body, true)
+			} else {
+				for _, a := range n.Call.Args {
+					p.collectEdges(node, a, true)
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			p.recordCall(node, n, spawned)
+			return true
+		}
+		return true
+	})
+}
+
+// recordCall resolves one call site to static or dynamic edges.
+func (p *Program) recordCall(node *FuncInfo, call *ast.CallExpr, spawned bool) {
+	if spawned {
+		node.Spawns = true
+	}
+	info := node.Pkg.Info
+	fun := unparen(call.Fun)
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			p.addEdge(node, keyOf(fn), spawned)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return
+			}
+			if types.IsInterface(sel.Recv()) {
+				for _, target := range p.methodSetTargets(fn) {
+					node.Dynamic[target] = true
+					if spawned {
+						// An interface call from a spawned context still
+						// reaches its candidates on that goroutine.
+						p.addEdge(node, target, true)
+					}
+				}
+				return
+			}
+			p.addEdge(node, keyOf(fn), spawned)
+			return
+		}
+		// Package-qualified function: pkg.F(...).
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			p.addEdge(node, keyOf(fn), spawned)
+		}
+	}
+}
+
+func (p *Program) addEdge(node *FuncInfo, callee FuncKey, spawned bool) {
+	if callee == "" {
+		return
+	}
+	if _, inModule := p.Funcs[callee]; !inModule {
+		return
+	}
+	if spawned {
+		node.Callees[callee] = true
+	} else if _, seen := node.Callees[callee]; !seen {
+		node.Callees[callee] = false
+	}
+}
+
+// methodSetTargets resolves an interface method to every in-module
+// concrete method with the same name and signature. Signatures are
+// compared as package-path-qualified strings because the candidate and the
+// interface method live in different type-checker universes, where
+// types.Identical is too strict.
+func (p *Program) methodSetTargets(ifaceMethod *types.Func) []FuncKey {
+	wantName := ifaceMethod.Name()
+	wantSig := sigString(ifaceMethod)
+	var out []FuncKey
+	for key, fi := range p.Funcs {
+		if fi.Decl.Recv == nil || fi.Decl.Name.Name != wantName {
+			continue
+		}
+		fn, ok := fi.Pkg.Info.Defs[fi.Decl.Name].(*types.Func)
+		if !ok || sigString(fn) != wantSig {
+			continue
+		}
+		out = append(out, key)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// sigString renders a function's parameter and result types (receiver
+// excluded) with full package paths, stable across type universes.
+func sigString(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	qual := func(pkg *types.Package) string { return pkg.Path() }
+	var b strings.Builder
+	b.WriteByte('(')
+	for i := 0; i < sig.Params().Len(); i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(types.TypeString(sig.Params().At(i).Type(), qual))
+	}
+	b.WriteString(")(")
+	for i := 0; i < sig.Results().Len(); i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(types.TypeString(sig.Results().At(i).Type(), qual))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// computeGoroutineReachable floods the call graph from every spawn edge:
+// a function is goroutine-reachable when some call path ends in a `go`
+// site targeting it, or when it is invoked as a function-typed argument of
+// a callee that runs its parameter on a goroutine (CallsParamGo — the
+// grid.ParallelFor shape).
+func (p *Program) computeGoroutineReachable() {
+	var queue []FuncKey
+	mark := func(k FuncKey) {
+		if k != "" && !p.GoroutineReachable[k] {
+			if _, ok := p.Funcs[k]; ok {
+				p.GoroutineReachable[k] = true
+				queue = append(queue, k)
+			}
+		}
+	}
+	// Roots: direct spawn edges, plus function-literal/param hand-offs to
+	// callees that invoke their parameter on a goroutine.
+	keys := p.sortedFuncKeys()
+	for _, key := range keys {
+		fi := p.Funcs[key]
+		for callee, spawned := range fi.Callees {
+			if spawned {
+				mark(callee)
+			}
+		}
+	}
+	for _, key := range keys {
+		fi := p.Funcs[key]
+		p.markParamGoHandoffs(fi, mark)
+	}
+	// Flood: everything a goroutine-reachable function calls is too.
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		fi := p.Funcs[k]
+		for callee := range fi.Callees {
+			mark(callee)
+		}
+		for callee := range fi.Dynamic {
+			mark(callee)
+		}
+	}
+}
+
+// markParamGoHandoffs finds call sites in fi passing a named in-module
+// function where the callee's summary says that parameter is invoked on a
+// goroutine, and marks the passed function. Function literals are covered
+// separately: their bodies' edges were attributed to the enclosing
+// function, which markBodyGoroutine handles during summary use.
+func (p *Program) markParamGoHandoffs(fi *FuncInfo, mark func(FuncKey)) {
+	info := fi.Pkg.Info
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		calleeKey := staticCalleeKey(info, call)
+		callee := p.Funcs[calleeKey]
+		if callee == nil || callee.Summary == nil {
+			return true
+		}
+		for i, a := range call.Args {
+			if i >= len(callee.Summary.CallsParamGo) || !callee.Summary.CallsParamGo[i] {
+				continue
+			}
+			switch arg := unparen(a).(type) {
+			case *ast.Ident:
+				if fn, ok := info.Uses[arg].(*types.Func); ok {
+					mark(keyOf(fn))
+				}
+			case *ast.SelectorExpr:
+				if fn, ok := info.Uses[arg.Sel].(*types.Func); ok {
+					mark(keyOf(fn))
+				}
+			case *ast.FuncLit:
+				// The literal's call edges already live on fi; re-walk the
+				// literal body marking its static callees as reachable.
+				ast.Inspect(arg.Body, func(m ast.Node) bool {
+					if c, ok := m.(*ast.CallExpr); ok {
+						if k := staticCalleeKey(info, c); k != "" {
+							mark(k)
+						}
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+}
+
+// staticCalleeKey resolves call to an in-module function key, or "".
+func staticCalleeKey(info *types.Info, call *ast.CallExpr) FuncKey {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return keyOf(fn)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok && !types.IsInterface(sel.Recv()) {
+				return keyOf(fn)
+			}
+			return ""
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return keyOf(fn)
+		}
+	}
+	return ""
+}
+
+// sortedFuncKeys returns every node key in sorted order: the deterministic
+// iteration base for everything derived from the Funcs map.
+func (p *Program) sortedFuncKeys() []FuncKey {
+	keys := make([]FuncKey, 0, len(p.Funcs))
+	for k := range p.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// sccOrder returns the strongly connected components of the static call
+// graph in bottom-up (callees before callers) order, via Tarjan's
+// algorithm seeded in sorted key order for determinism.
+func (p *Program) sccOrder() [][]FuncKey {
+	index := map[FuncKey]int{}
+	low := map[FuncKey]int{}
+	onStack := map[FuncKey]bool{}
+	var stack []FuncKey
+	var sccs [][]FuncKey
+	next := 0
+
+	var strongconnect func(v FuncKey)
+	strongconnect = func(v FuncKey) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+
+		fi := p.Funcs[v]
+		callees := make([]FuncKey, 0, len(fi.Callees))
+		for c := range fi.Callees {
+			callees = append(callees, c)
+		}
+		sort.Slice(callees, func(i, j int) bool { return callees[i] < callees[j] })
+		for _, w := range callees {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+
+		if low[v] == index[v] {
+			var scc []FuncKey
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, k := range p.sortedFuncKeys() {
+		if _, seen := index[k]; !seen {
+			strongconnect(k)
+		}
+	}
+	// Tarjan emits components in reverse topological order of the
+	// condensation — exactly the bottom-up order summaries need.
+	return sccs
+}
+
+// packageOf maps a *types.Package back to its loaded Package, or nil.
+func (p *Program) packageOf(tp *types.Package) *Package {
+	for _, pkg := range p.Pkgs {
+		if pkg.Types == tp {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// FuncOf resolves the node enclosing pos within pkg, or nil.
+func (p *Program) FuncOf(pkg *Package, fd *ast.FuncDecl) *FuncInfo {
+	fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return p.Funcs[keyOf(fn)]
+}
+
+// SummaryFor returns the summary of an in-module static callee of call, or
+// nil: the single hook analyzers use to follow facts through a call.
+func (p *Program) SummaryFor(pkg *Package, call *ast.CallExpr) *Summary {
+	fi := p.Funcs[staticCalleeKey(pkg.Info, call)]
+	if fi == nil {
+		return nil
+	}
+	return fi.Summary
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// FormatFixDiffs renders every suggested fix in diags as unified diffs
+// against the files on disk, without writing anything — the review mode
+// behind `iltlint -diff`. Files are emitted in sorted order, each with
+// conventional ---/+++ headers and 3 lines of hunk context, so the output
+// is stable and pipeable into a patch viewer.
+func FormatFixDiffs(fset *token.FileSet, diags []Diagnostic) (string, error) {
+	perFile := planFixes(fset, diags)
+	files := make([]string, 0, len(perFile))
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	var b strings.Builder
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return "", err
+		}
+		out, err := applyEdits(src, perFile[file].edits)
+		if err != nil {
+			return "", fmt.Errorf("%s: %v", file, err)
+		}
+		if formatted, err := format.Source(out); err == nil {
+			out = formatted
+		}
+		hunks := unifiedDiff(splitLines(src), splitLines(out), 3)
+		if hunks == "" {
+			continue
+		}
+		fmt.Fprintf(&b, "--- %s\n+++ %s (fixed)\n%s", file, file, hunks)
+	}
+	return b.String(), nil
+}
+
+func splitLines(src []byte) []string {
+	lines := strings.SplitAfter(string(src), "\n")
+	if len(lines) > 0 && lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
+}
+
+// unifiedDiff renders the hunks of a line-level LCS diff between a and b
+// with ctx lines of context. Returns "" when the inputs are identical.
+func unifiedDiff(a, b []string, ctx int) string {
+	type op struct {
+		kind byte // ' ', '-', '+'
+		line string
+	}
+	// LCS table; fixture- and repo-sized files keep n*m comfortably small.
+	n, m := len(a), len(b)
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []op
+	changed := false
+	for i, j := 0, 0; i < n || j < m; {
+		switch {
+		case i < n && j < m && a[i] == b[j]:
+			ops = append(ops, op{' ', a[i]})
+			i++
+			j++
+		case j < m && (i == n || lcs[i][j+1] >= lcs[i+1][j]):
+			ops = append(ops, op{'+', b[j]})
+			j++
+			changed = true
+		default:
+			ops = append(ops, op{'-', a[i]})
+			i++
+			changed = true
+		}
+	}
+	if !changed {
+		return ""
+	}
+	// Within each maximal run of changed ops, order deletions before
+	// insertions — the conventional unified-diff rendering of a
+	// replacement. Which lines match is fixed by the LCS; the order inside
+	// a change block is free, and the backtrack above doesn't guarantee it.
+	for i := 0; i < len(ops); {
+		if ops[i].kind == ' ' {
+			i++
+			continue
+		}
+		j := i
+		for j < len(ops) && ops[j].kind != ' ' {
+			j++
+		}
+		block := make([]op, 0, j-i)
+		for _, o := range ops[i:j] {
+			if o.kind == '-' {
+				block = append(block, o)
+			}
+		}
+		for _, o := range ops[i:j] {
+			if o.kind == '+' {
+				block = append(block, o)
+			}
+		}
+		copy(ops[i:j], block)
+		i = j
+	}
+
+	// Group ops into hunks separated by > 2*ctx unchanged lines.
+	var out strings.Builder
+	aLine, bLine := 1, 1
+	i := 0
+	for i < len(ops) {
+		// Skip the equal run before the next change.
+		start := i
+		for i < len(ops) && ops[i].kind == ' ' {
+			i++
+		}
+		if i == len(ops) {
+			break
+		}
+		hunkStart := start
+		if i-start > ctx {
+			hunkStart = i - ctx
+		}
+		aLine += hunkStart - start // equal lines skipped before the hunk
+		bLine += hunkStart - start
+		// Extend the hunk until an equal run long enough to split on.
+		hunkEnd := i
+		for hunkEnd < len(ops) {
+			if ops[hunkEnd].kind != ' ' {
+				hunkEnd++
+				continue
+			}
+			run := hunkEnd
+			for run < len(ops) && ops[run].kind == ' ' {
+				run++
+			}
+			if run == len(ops) || run-hunkEnd > 2*ctx {
+				break
+			}
+			hunkEnd = run
+		}
+		tail := hunkEnd
+		for tail < len(ops) && ops[tail].kind == ' ' && tail-hunkEnd < ctx {
+			tail++
+		}
+
+		aStart, bStart := aLine, bLine
+		aCount, bCount := 0, 0
+		var body strings.Builder
+		for _, o := range ops[hunkStart:tail] {
+			body.WriteByte(o.kind)
+			body.WriteString(strings.TrimSuffix(o.line, "\n"))
+			body.WriteByte('\n')
+			if o.kind != '+' {
+				aCount++
+				aLine++
+			}
+			if o.kind != '-' {
+				bCount++
+				bLine++
+			}
+		}
+		fmt.Fprintf(&out, "@@ -%d,%d +%d,%d @@\n%s", aStart, aCount, bStart, bCount, body.String())
+		i = tail
+	}
+	return out.String()
+}

@@ -14,15 +14,16 @@ type offsetEdit struct {
 	new        string
 }
 
-// ApplyFixes applies every suggested fix in diags to the files on disk and
-// gofmts the results. Fixes whose edits overlap an already-accepted edit in
-// the same file are skipped (first-come in diagnostic order wins). It
-// returns the number of fixes applied per file.
-func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (map[string]int, error) {
-	type fileEdits struct {
-		edits   []offsetEdit
-		applied int
-	}
+// fileEdits is the per-file plan of accepted fix edits.
+type fileEdits struct {
+	edits   []offsetEdit
+	applied int
+}
+
+// planFixes resolves every suggested fix in diags to per-file edit plans.
+// Fixes whose edits overlap an already-accepted edit in the same file are
+// skipped (first-come in diagnostic order wins).
+func planFixes(fset *token.FileSet, diags []Diagnostic) map[string]*fileEdits {
 	perFile := map[string]*fileEdits{}
 	for _, d := range diags {
 		if d.Fix == nil {
@@ -63,7 +64,13 @@ func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (map[string]int, error)
 		fe.edits = append(fe.edits, resolved...)
 		fe.applied++
 	}
+	return perFile
+}
 
+// ApplyFixes applies every suggested fix in diags to the files on disk and
+// gofmts the results. It returns the number of fixes applied per file.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (map[string]int, error) {
+	perFile := planFixes(fset, diags)
 	counts := map[string]int{}
 	for file, fe := range perFile {
 		src, err := os.ReadFile(file)

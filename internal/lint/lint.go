@@ -18,6 +18,17 @@
 //     Recorder.Enabled() (AllocsPerRun=0 contract)
 //   - errcheck      — unchecked error returns in main packages and on
 //     Close/Flush/Sync paths everywhere
+//   - gridres       — coarse (s-reduced) and fine grids must not meet in
+//     an elementwise operation without an explicit resample (multi-level
+//     contract, Eq. 7/8), followed through calls via summaries
+//   - leasepath     — a pool lease must be released or handed off on
+//     every path, including through helpers and deferred closures
+//   - atomicfield   — a field accessed via function-style sync/atomic
+//     anywhere must be accessed that way everywhere, across packages
+//
+// The last three are interprocedural: they consult a package-set call
+// graph and bottom-up per-function summaries (callgraph.go, summary.go)
+// built once per run and shared through Pass.Prog.
 //
 // A finding can be suppressed with a mandatory-reason directive on the
 // same line or the line above:
@@ -47,7 +58,7 @@ type Analyzer struct {
 
 // All is the registry of analyzers shipped with the suite, in the order
 // they run. cmd/iltlint selects from this set with -rules.
-var All = []*Analyzer{FloatCmp, MapOrder, ScratchAlias, HotAlloc, ErrCheck}
+var All = []*Analyzer{FloatCmp, MapOrder, ScratchAlias, HotAlloc, ErrCheck, GridRes, LeasePath, AtomicField}
 
 // Lookup resolves a comma-separated rule list against the registry.
 func Lookup(rules string) ([]*Analyzer, error) {
@@ -113,6 +124,11 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+
+	// Prog is the interprocedural view of the whole run (call graph,
+	// summaries, program-wide fact sets). Nil only when a Pass is built
+	// outside the runner.
+	Prog *Program
 
 	diags *[]Diagnostic
 }

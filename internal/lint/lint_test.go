@@ -34,8 +34,16 @@ var wantArgRe = regexp.MustCompile(`"([^"]*)"`)
 func parseWants(t *testing.T, dir string) []*want {
 	t.Helper()
 	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
-	if err != nil || len(files) == 0 {
-		t.Fatalf("no fixture files in %s (%v)", dir, err)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nested, err := filepath.Glob(filepath.Join(dir, "*", "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, nested...)
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
 	}
 	var wants []*want
 	for _, path := range files {
@@ -74,12 +82,19 @@ func parseWants(t *testing.T, dir string) []*want {
 	return wants
 }
 
-// testFixture runs one analyzer over a fixture package and checks its
-// diagnostics against the // want annotations: every diagnostic must match
-// exactly one unconsumed want and every want must be consumed.
+// testFixture runs one or more analyzers over a fixture tree and checks
+// the diagnostics against the // want annotations: every diagnostic must
+// match exactly one unconsumed want and every want must be consumed.
+// Fixture files are matched by base name, which covers the multi-package
+// fixtures' subdirectories.
 func testFixture(t *testing.T, a *Analyzer, dir string) {
 	t.Helper()
-	res, err := Run(Options{Dir: dir, Patterns: []string{"."}, Analyzers: []*Analyzer{a}})
+	testFixturePatterns(t, []*Analyzer{a}, dir, ".")
+}
+
+func testFixturePatterns(t *testing.T, analyzers []*Analyzer, dir string, patterns ...string) {
+	t.Helper()
+	res, err := Run(Options{Dir: dir, Patterns: patterns, Analyzers: analyzers})
 	if err != nil {
 		t.Fatalf("lint run over %s: %v", dir, err)
 	}
@@ -87,7 +102,7 @@ func testFixture(t *testing.T, a *Analyzer, dir string) {
 	for _, d := range res.Diags {
 		matched := false
 		for _, w := range wants {
-			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			if !w.hit && w.file == filepath.Base(d.Pos.Filename) && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
 				w.hit = true
 				matched = true
 				break
@@ -110,6 +125,39 @@ func TestScratchAliasFixture(t *testing.T) { testFixture(t, ScratchAlias, "testd
 func TestHotAllocFixture(t *testing.T)     { testFixture(t, HotAlloc, "testdata/src/hotalloc") }
 func TestErrCheckMainFixture(t *testing.T) { testFixture(t, ErrCheck, "testdata/src/errcheck") }
 func TestErrCheckLibFixture(t *testing.T)  { testFixture(t, ErrCheck, "testdata/src/errchecklib") }
+func TestGridResFixture(t *testing.T)      { testFixture(t, GridRes, "testdata/src/gridres") }
+func TestLeasePathFixture(t *testing.T)    { testFixture(t, LeasePath, "testdata/src/leasepath") }
+func TestAtomicFieldFixture(t *testing.T)  { testFixture(t, AtomicField, "testdata/src/atomicfield") }
+
+// TestInterprocFixture loads a two-package fixture in one run: the
+// findings in package b exist only because summaries computed for package
+// a (release chains, result resolution deltas, same-res constraints)
+// survive the cross-package call-graph fixpoint.
+func TestInterprocFixture(t *testing.T) {
+	testFixturePatterns(t, []*Analyzer{GridRes, LeasePath}, "testdata/src/interproc", "./...")
+}
+
+// TestWorkersDeterminism pins the parallel pipeline's contract: the -json
+// byte stream is identical at any worker count.
+func TestWorkersDeterminism(t *testing.T) {
+	runAt := func(workers int) []byte {
+		res, err := Run(Options{Dir: "testdata/src/driver", Patterns: []string{"."}, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, res.Diags); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := runAt(1)
+	for _, w := range []int{2, 8, 0} {
+		if got := runAt(w); !bytes.Equal(serial, got) {
+			t.Errorf("workers=%d output differs from serial:\n--- serial\n%s--- workers=%d\n%s", w, serial, w, got)
+		}
+	}
+}
 
 // TestDriverJSONGolden runs the full five-analyzer suite over the driver
 // fixture — one violation per rule — and pins the -json byte stream: the
@@ -154,6 +202,137 @@ func TestDriverJSONGolden(t *testing.T) {
 	if !bytes.Equal(first, wantBytes) {
 		t.Errorf("JSON output diverged from %s (re-run with -update if intended):\ngot:\n%s\nwant:\n%s",
 			golden, first, wantBytes)
+	}
+}
+
+// TestBaselineRatchet records a baseline over the driver fixture and
+// verifies the filter: a full baseline absorbs everything, a truncated one
+// lets exactly the dropped finding through.
+func TestBaselineRatchet(t *testing.T) {
+	res, err := Run(Options{Dir: "testdata/src/driver", Patterns: []string{"."}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diags) < len(All) {
+		t.Fatalf("driver fixture should fire every rule, got %d findings", len(res.Diags))
+	}
+
+	b := NewBaseline(res.Diags)
+	fresh, absorbed := b.Filter(res.Diags)
+	if len(fresh) != 0 || absorbed != len(res.Diags) {
+		t.Errorf("full baseline: fresh=%d absorbed=%d, want 0/%d", len(fresh), absorbed, len(res.Diags))
+	}
+
+	trimmed := &Baseline{Entries: b.Entries[:len(b.Entries)-1]}
+	fresh, absorbed = trimmed.Filter(res.Diags)
+	if len(fresh) != 1 || absorbed != len(res.Diags)-1 {
+		t.Errorf("trimmed baseline: fresh=%d absorbed=%d, want 1/%d", len(fresh), absorbed, len(res.Diags)-1)
+	}
+
+	// Round-trip through the file form.
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaselineFile(path, res.Diags); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadBaselineFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh, absorbed := loaded.Filter(res.Diags); len(fresh) != 0 || absorbed != len(res.Diags) {
+		t.Errorf("round-tripped baseline: fresh=%d absorbed=%d, want 0/%d", len(fresh), absorbed, len(res.Diags))
+	}
+}
+
+// writeFixModule creates a throwaway module with one fixable floatcmp
+// finding and returns its directory, file path, and original source.
+func writeFixModule(t *testing.T) (dir, path, src string) {
+	t.Helper()
+	dir = t.TempDir()
+	src = `package main
+
+import "math"
+
+func main() {
+	a, b := math.Sqrt(2), math.Sqrt(3)
+	if a == b {
+		println("equal")
+	}
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixtest\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path = filepath.Join(dir, "main.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir, path, src
+}
+
+// TestFormatFixDiffs verifies -diff's engine: the preview shows the fix as
+// a unified diff and leaves the file on disk untouched.
+func TestFormatFixDiffs(t *testing.T) {
+	dir, path, src := writeFixModule(t)
+	res, err := Run(Options{Dir: dir, Patterns: []string{"."}, Analyzers: []*Analyzer{FloatCmp}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := FormatFixDiffs(res.Fset, res.Diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"--- ", "+++ ", "@@ ", "-\tif a == b {", "+\tif math.Float64bits(a) == math.Float64bits(b) {"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(onDisk) != src {
+		t.Errorf("-diff modified the file:\n%s", onDisk)
+	}
+}
+
+// TestFixIdempotent pins the -fix contract: applying fixes twice is a
+// no-op — the second pass finds nothing fixable and changes no bytes.
+func TestFixIdempotent(t *testing.T) {
+	dir, path, _ := writeFixModule(t)
+	opts := Options{Dir: dir, Patterns: []string{"."}, Analyzers: []*Analyzer{FloatCmp}}
+
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyFixes(res.Fset, res.Diags); err != nil {
+		t.Fatal(err)
+	}
+	afterFirst, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err = Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Fixable(); n != 0 {
+		t.Errorf("second pass still sees %d fixable finding(s)", n)
+	}
+	counts, err := ApplyFixes(res.Fset, res.Diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 0 {
+		t.Errorf("second ApplyFixes applied %v, want nothing", counts)
+	}
+	afterSecond, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(afterFirst, afterSecond) {
+		t.Errorf("second -fix changed bytes:\n--- first\n%s--- second\n%s", afterFirst, afterSecond)
 	}
 }
 

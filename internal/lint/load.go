@@ -14,6 +14,8 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+
+	"repro/internal/grid"
 )
 
 // Package is one parsed, type-checked, in-module package ready for
@@ -49,6 +51,17 @@ type listPkg struct {
 // assertions and fixture abuse legitimately live, and the invariants the
 // analyzers guard are production-path contracts.
 func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
+	return LoadWorkers(dir, 1, patterns...)
+}
+
+// LoadWorkers is Load with parsing fanned out across workers goroutines
+// per the repo's Workers convention (≤ 0 means GOMAXPROCS). Parsing
+// dominates load time and each file is independent; a token.FileSet is
+// safe for concurrent use, so files land in the shared set from any
+// worker. Type-checking stays serial: packages must check in dependency
+// order against one importer, and the importer's export-data cache is not
+// synchronized.
+func LoadWorkers(dir string, workers int, patterns ...string) ([]*Package, *token.FileSet, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -103,17 +116,36 @@ func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
 	}
 	imp := importer.ForCompiler(fset, "gc", lookup)
 
-	var pkgs []*Package
-	for _, p := range roots {
-		var files []*ast.File
-		for _, name := range p.GoFiles {
-			af, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil,
-				parser.ParseComments|parser.SkipObjectResolution)
-			if err != nil {
-				return nil, nil, err
-			}
-			files = append(files, af)
+	// Parse every root file in parallel; results keep source order.
+	type parseJob struct {
+		pkg, file int
+		path      string
+	}
+	var jobs []parseJob
+	parsed := make([][]*ast.File, len(roots))
+	for pi, p := range roots {
+		parsed[pi] = make([]*ast.File, len(p.GoFiles))
+		for fi, name := range p.GoFiles {
+			jobs = append(jobs, parseJob{pkg: pi, file: fi, path: filepath.Join(p.Dir, name)})
 		}
+	}
+	parseErrs := make([]error, len(jobs))
+	grid.ParallelFor(workers, len(jobs), func(i int) {
+		j := jobs[i]
+		af, err := parser.ParseFile(fset, j.path, nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		parsed[j.pkg][j.file] = af
+		parseErrs[i] = err
+	})
+	for _, err := range parseErrs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	var pkgs []*Package
+	for pi, p := range roots {
+		files := parsed[pi]
 		info := &types.Info{
 			Types:      map[ast.Expr]types.TypeAndValue{},
 			Defs:       map[*ast.Ident]types.Object{},

@@ -8,6 +8,8 @@ import (
 	"io"
 	"path/filepath"
 	"strings"
+
+	"repro/internal/grid"
 )
 
 // Options configures one analysis run.
@@ -19,6 +21,11 @@ type Options struct {
 	Patterns []string
 	// Analyzers to run; empty means All.
 	Analyzers []*Analyzer
+	// Workers bounds load/analyze parallelism per the repo convention
+	// (grid.ParallelFor): ≤ 0 means GOMAXPROCS, 1 is fully serial. Output
+	// is byte-identical at every setting — packages keep load order and
+	// diagnostics are sorted after the merge.
+	Workers int
 }
 
 // Result is the outcome of a run: suppression-filtered, deterministically
@@ -48,16 +55,25 @@ func Run(opts Options) (*Result, error) {
 	if len(analyzers) == 0 {
 		analyzers = All
 	}
-	pkgs, fset, err := Load(opts.Dir, opts.Patterns...)
+	workers := opts.Workers
+	pkgs, fset, err := LoadWorkers(opts.Dir, workers, opts.Patterns...)
 	if err != nil {
 		return nil, err
 	}
 
-	var diags []Diagnostic
-	var ignores []ignoreDirective
-	for _, pkg := range pkgs {
+	// The interprocedural substrate is built once, serially, and shared
+	// read-only by every pass.
+	prog := BuildProgram(pkgs, fset)
+
+	// Packages are independent analysis units: fan out across workers,
+	// each accumulating into its own slot, then merge in load order so
+	// the result stream is identical at any worker count.
+	perPkgDiags := make([][]Diagnostic, len(pkgs))
+	perPkgIgnores := make([][]ignoreDirective, len(pkgs))
+	grid.ParallelFor(workers, len(pkgs), func(i int) {
+		pkg := pkgs[i]
 		for _, f := range pkg.Files {
-			ignores = append(ignores, scanIgnores(fset, f)...)
+			perPkgIgnores[i] = append(perPkgIgnores[i], scanIgnores(fset, f)...)
 		}
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -66,10 +82,17 @@ func Run(opts Options) (*Result, error) {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
-				diags:    &diags,
+				Prog:     prog,
+				diags:    &perPkgDiags[i],
 			}
 			a.Run(pass)
 		}
+	})
+	var diags []Diagnostic
+	var ignores []ignoreDirective
+	for i := range pkgs {
+		diags = append(diags, perPkgDiags[i]...)
+		ignores = append(ignores, perPkgIgnores[i]...)
 	}
 
 	diags = applyIgnores(diags, ignores)

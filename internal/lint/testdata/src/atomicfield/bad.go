@@ -1,0 +1,33 @@
+// Package atomicfield is a lint fixture: the counter field n is updated
+// through sync/atomic in one place and accessed plainly in others — every
+// plain access must fire the atomicfield analyzer.
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	hits int64 // never touched atomically: plain access is fine
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.n // want "mixed plain/atomic access is a data race"
+}
+
+// bump runs on a spawned goroutine (see spawn), so its plain access is a
+// live race, and the report says so.
+func (c *counter) spawn() {
+	go c.bump()
+}
+
+func (c *counter) bump() {
+	c.n++ // want "goroutine-reachable, so the race is live"
+}
+
+func (c *counter) plainOK() int64 {
+	return c.hits
+}

@@ -1,0 +1,22 @@
+// Clean cases: typed atomics make mixed access unrepresentable, and
+// consistent function-style atomic access is the contract satisfied.
+package atomicfield
+
+import "sync/atomic"
+
+type stats struct {
+	ops  atomic.Int64
+	name string
+}
+
+func (s *stats) inc() int64  { return s.ops.Add(1) }
+func (s *stats) read() int64 { return s.ops.Load() }
+func (s *stats) label() string {
+	return s.name
+}
+
+type flag struct{ v uint32 }
+
+// Every access to v goes through sync/atomic: no finding.
+func (f *flag) set()        { atomic.StoreUint32(&f.v, 1) }
+func (f *flag) isSet() bool { return atomic.LoadUint32(&f.v) == 1 }

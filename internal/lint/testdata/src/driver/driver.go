@@ -1,5 +1,5 @@
 // Package driver is the cmd/iltlint golden fixture: one violation per
-// rule, so a full five-analyzer run exercises the JSON schema, the
+// rule, so a full eight-analyzer run exercises the JSON schema, the
 // deterministic ordering, and the fixable flag in one package.
 package driver
 
@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sync/atomic"
 
 	"repro/internal/grid"
 	"repro/internal/telemetry"
@@ -43,6 +44,28 @@ func instrument(rec *telemetry.Recorder, n int) {
 func drop(f *os.File) {
 	f.Close()
 }
+
+// gridres: a coarse result meets its fine source in an elementwise op.
+func mix(z *grid.Mat, s int) {
+	zs := grid.AvgPoolDown(z, s)
+	zs.Add(z)
+}
+
+// leasepath: the early return drops the lease.
+func leak(p *grid.CMatPool, n int, fail bool) {
+	buf := p.Get(n, n)
+	if fail {
+		return
+	}
+	p.Put(buf)
+}
+
+// atomicfield: n is atomic in bump, plain in read.
+type ctr struct{ n int64 }
+
+func bump(c *ctr) { atomic.AddInt64(&c.n, 1) }
+
+func read(c *ctr) int64 { return c.n }
 
 var _ = fmt.Sprintf
 var _ = math.Pi

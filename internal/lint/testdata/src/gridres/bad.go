@@ -1,0 +1,53 @@
+// Package gridres is a lint fixture: every elementwise operation below
+// mixes grids at different coarsening levels and must fire the gridres
+// analyzer.
+package gridres
+
+import "repro/internal/grid"
+
+// Direct mixing: a pooled-down mask against its fine source.
+func mixDirect(z *grid.Mat, s int) {
+	zs := grid.AvgPoolDown(z, s)
+	zs.Add(z) // want "grid resolution mismatch"
+}
+
+// down's result is one level coarser than its input — a call-graph fact.
+func down(m *grid.Mat) *grid.Mat { return grid.AvgPoolDown(m, 2) }
+
+// Mixing through the helper's result delta.
+func mixViaHelper(z *grid.Mat) {
+	d := down(z)
+	d.Sub(z) // want "grid resolution mismatch"
+}
+
+// Two helper hops: the fixpoint must compose the deltas.
+func down2(m *grid.Mat) *grid.Mat { return down(down(m)) }
+
+func mixTwoHops(z *grid.Mat) {
+	d := down2(z)
+	d.CopyFrom(z) // want "grid resolution mismatch"
+}
+
+// dot pairs its parameters elementwise, so its summary constrains them to
+// one resolution.
+func dot(a, b *grid.Mat) float64 {
+	var t float64
+	for i := range a.Data {
+		t += a.Data[i] * b.Data[i]
+	}
+	return t
+}
+
+// Mixing through the callee's same-resolution constraint.
+func mixViaConstraint(z *grid.Mat, s int) float64 {
+	zs := grid.AvgPoolDown(z, s)
+	return dot(zs, z) // want "grid resolution mismatch"
+}
+
+// Raw paired-index loop mixing, no helper involved.
+func mixRawLoop(z *grid.Mat, s int) {
+	zs := grid.UpsampleNearest(z, s)
+	for i := range zs.Data {
+		zs.Data[i] += z.Data[i] // want "grid resolution mismatch"
+	}
+}

@@ -1,0 +1,43 @@
+// Clean cases: every operation matches levels, or the relation between
+// operands is unknown — gridres must stay silent on all of it.
+package gridres
+
+import "repro/internal/grid"
+
+// Downsample, operate coarse-with-coarse, upsample, operate fine-with-fine.
+func roundTrip(z *grid.Mat, s int) *grid.Mat {
+	zs := grid.AvgPoolDown(z, s)
+	zt := grid.AvgPoolDown(z, s)
+	zs.Add(zt)
+	up := grid.UpsampleNearest(zs, s)
+	up.Sub(z)
+	return up
+}
+
+// The adjoint pair cancels: down then adjoint-down is back at the source
+// level.
+func adjointPair(g *grid.Mat, s int) {
+	gs := grid.AvgPoolDown(g, s)
+	back := grid.AvgPoolDownAdjoint(gs, s)
+	back.AddScaled(1.0, g)
+}
+
+// Different bases: the relation between a and b is unknown, so pooling
+// both and mixing is not flaggable.
+func unknownRelation(a, b *grid.Mat, s int) {
+	as := grid.AvgPoolDown(a, s)
+	as.Add(grid.AvgPoolDown(b, s))
+}
+
+// SmoothPool is level-preserving.
+func smooth(z *grid.Mat) {
+	sm := grid.SmoothPool(z, 3)
+	sm.Sub(z)
+}
+
+// Clone stays at its receiver's level.
+func cloned(z *grid.Mat, s int) float64 {
+	zs := grid.AvgPoolDown(z, s)
+	c := zs.Clone()
+	return c.Dot(zs)
+}

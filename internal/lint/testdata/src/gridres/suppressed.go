@@ -1,0 +1,12 @@
+// Suppression: a documented //lint:ignore silences gridres on its target
+// line; a reasonless directive is itself an "ignore" finding (covered by
+// the driver fixture).
+package gridres
+
+import "repro/internal/grid"
+
+func sanctioned(z *grid.Mat, s int) {
+	zs := grid.AvgPoolDown(z, s)
+	//lint:ignore gridres fixture demonstrates a deliberate cross-level accumulation
+	zs.Add(z)
+}

@@ -1,0 +1,39 @@
+// Package a is the callee side of the cross-package fixture: helpers whose
+// summaries (release, pass-through, result resolution, same-res
+// constraints) must be visible from package b through the call-graph
+// fixpoint.
+package a
+
+import "repro/internal/grid"
+
+// Done always releases m: callers may rely on it.
+func Done(p *grid.CMatPool, m *grid.CMat) {
+	p.Put(m)
+}
+
+// DoneTwice releases through Done — a two-hop chain the bottom-up
+// summary order must resolve.
+func DoneTwice(p *grid.CMatPool, m *grid.CMat) {
+	Done(p, m)
+}
+
+// Touch returns its argument: a pass-through, not a release.
+func Touch(m *grid.CMat) *grid.CMat {
+	m.Data[0] = 0
+	return m
+}
+
+// Overlap pairs its parameters elementwise, so its summary constrains
+// them to one resolution.
+func Overlap(x, y *grid.Mat) float64 {
+	var t float64
+	for i := range x.Data {
+		t += x.Data[i] * y.Data[i]
+	}
+	return t
+}
+
+// Half's result is one coarsening level above its input.
+func Half(m *grid.Mat) *grid.Mat {
+	return grid.AvgPoolDown(m, 2)
+}

@@ -1,0 +1,42 @@
+// Package b is the caller side of the cross-package fixture: findings
+// here exist only because the analyzers follow facts into package a.
+package b
+
+import (
+	"errors"
+
+	"repro/internal/grid"
+	"repro/internal/lint/testdata/src/interproc/a"
+)
+
+// Clean: the lease flows through a pass-through helper and is released by
+// a cross-package two-hop chain.
+func CleanChain(p *grid.CMatPool, n int) {
+	buf := a.Touch(p.Get(n, n))
+	a.DoneTwice(p, buf)
+}
+
+// The happy path releases via the helper, but the error path drops the
+// lease.
+func LeakyChain(p *grid.CMatPool, n int, fail bool) error {
+	buf := p.Get(n, n) // want "not released on every path"
+	if fail {
+		return errors.New("fail")
+	}
+	a.Done(p, buf)
+	return nil
+}
+
+// Cross-package resolution mixing: Half's result delta meets Overlap's
+// same-resolution constraint.
+func MixAcrossPackages(z *grid.Mat) float64 {
+	zs := a.Half(z)
+	return a.Overlap(zs, z) // want "grid resolution mismatch"
+}
+
+// Clean: both arguments arrive at Overlap one level down.
+func CleanAcrossPackages(z *grid.Mat) float64 {
+	zs := a.Half(z)
+	zt := a.Half(z)
+	return a.Overlap(zs, zt)
+}

@@ -1,0 +1,56 @@
+// Package leasepath is a lint fixture: every function below drops or
+// mishandles a pool lease on some path and must fire the leasepath
+// analyzer.
+package leasepath
+
+import (
+	"errors"
+
+	"repro/internal/grid"
+)
+
+// The classic: an early error return between Get and Put.
+func earlyReturn(p *grid.CMatPool, n int, fail bool) error {
+	buf := p.Get(n, n) // want "not released on every path"
+	if fail {
+		return errors.New("boom")
+	}
+	p.Put(buf)
+	return nil
+}
+
+// Rebinding the only alias drops the lease without a Put.
+func rebound(p *grid.MatPool, n int) *grid.Mat {
+	buf := p.Get(n, n) // want "not released on every path"
+	buf = grid.NewMat(n, n)
+	return buf
+}
+
+// Released in the loop body only: zero iterations leak it.
+func loopOnly(p *grid.CMatPool, n, iters int) {
+	buf := p.Get(n, n) // want "not released on every path"
+	for i := 0; i < iters; i++ {
+		p.Put(buf)
+	}
+}
+
+type cache struct{ m *grid.Mat }
+
+func (c *cache) keep(m *grid.Mat) { c.m = m }
+
+// A helper that stores its parameter: the lease escapes through the call.
+func escapesViaHelper(p *grid.MatPool, c *cache, n int) {
+	buf := p.Get(n, n)
+	c.keep(buf) // want "escapes through this call"
+}
+
+// One Put covers one alias; the second lease on the else-arm has no
+// release on the return path.
+func halfReleased(p *grid.CMatPool, n int, wide bool) {
+	a := p.Get(n, n)
+	b := p.Get(n, n) // want "not released on every path"
+	p.Put(a)
+	if wide {
+		p.Put(b)
+	}
+}

@@ -1,0 +1,103 @@
+// Clean cases: every lease below is released, deferred, handed off, or
+// deliberately untrackable — leasepath must stay silent on all of it.
+package leasepath
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/grid"
+)
+
+// Straight-line Get/use/Put.
+func simple(p *grid.CMatPool, n int) {
+	buf := p.Get(n, n)
+	buf.Data[0] = 1
+	p.Put(buf)
+}
+
+// A deferred Put covers every exit, including the error return.
+func deferred(p *grid.CMatPool, n int, fail bool) error {
+	buf := p.Get(n, n)
+	defer p.Put(buf)
+	if fail {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+// A deferred closure releasing the lease counts too.
+func deferredClosure(p *grid.MatPool, n int, fail bool) error {
+	buf := p.Get(n, n)
+	defer func() {
+		p.Put(buf)
+	}()
+	if fail {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+// release is a helper whose summary proves it always Puts its parameter.
+func release(p *grid.CMatPool, buf *grid.CMat) {
+	p.Put(buf)
+}
+
+// Released through the helper on every path.
+func viaHelper(p *grid.CMatPool, n int) {
+	buf := p.Get(n, n)
+	buf.Data[0] = 1
+	release(p, buf)
+}
+
+// passthrough returns its argument: the caller keeps the release duty.
+func passthrough(m *grid.CMat) *grid.CMat {
+	m.Data[0] = 0
+	return m
+}
+
+func viaPassthrough(p *grid.CMatPool, n int) {
+	buf := passthrough(p.Get(n, n))
+	p.Put(buf)
+}
+
+// Returning the lease is an explicit hand-off to the caller; whether that
+// hand-off is legal is scratchalias's finding, not a leak.
+func lend(p *grid.CMatPool, n int) *grid.CMat {
+	return p.Get(n, n)
+}
+
+// Path-correlated acquire/release: the lease is born on one arm only, so
+// tracking ends at the join rather than raising a false alarm.
+func correlated(p *grid.CMatPool, n int, banded bool) {
+	var prod *grid.CMat
+	if banded {
+		prod = p.Get(n, n)
+	}
+	if prod != nil {
+		p.Put(prod)
+	}
+}
+
+// The sanctioned fan-out: leases parked in a container and drained by the
+// same function.
+func fanOut(p *grid.MatPool, k, n int) {
+	acc := make([]*grid.Mat, k)
+	for i := 0; i < k; i++ {
+		acc[i] = p.Get(n, n)
+	}
+	for _, m := range acc {
+		p.Put(m)
+	}
+}
+
+// sync.Pool leases follow the same contract, through the type assertion.
+func syncPool(p *sync.Pool, fail bool) error {
+	bp := p.Get().(*[]byte)
+	if fail {
+		p.Put(bp)
+		return errors.New("boom")
+	}
+	p.Put(bp)
+	return nil
+}
