@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race trace-smoke bench bench-workers bench-fft bench-compare vet lint bench-lint check
+.PHONY: all build test race trace-smoke server-smoke server-race bench bench-workers bench-fft bench-compare vet lint bench-lint check
 
 all: build test
 
@@ -30,6 +30,20 @@ trace-smoke:
 		-manifest artifacts/trace_smoke_manifest.json
 	$(GO) run ./cmd/tracecheck -trace artifacts/trace_smoke.jsonl \
 		-manifest artifacts/trace_smoke_manifest.json
+
+# Serving lane, part 1: the iltserver self-contained smoke flow — boot the
+# daemon on an ephemeral port, submit one small job over real HTTP, stream
+# its SSE progress to completion, check the result, /healthz and /metrics,
+# then drain. No external tools (curl, jq) needed.
+server-smoke:
+	$(GO) run ./cmd/iltserver -smoke
+
+# Serving lane, part 2: the server package under the race detector — the
+# soak test (concurrent jobs, bit-identical results, bounded heap, no
+# goroutine leaks), cancellation/drain, SSE golden stream and the fuzz seed
+# corpus all run here.
+server-race:
+	$(GO) test -race -count=1 ./internal/server
 
 vet:
 	$(GO) vet ./...

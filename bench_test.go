@@ -13,6 +13,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -150,7 +151,7 @@ func benchIteration(b *testing.B, stage core.Stage) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := o.Run([]core.Stage{stage}); err != nil {
+		if _, err := o.Run(context.Background(), []core.Stage{stage}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -173,7 +174,7 @@ func benchRecipe(b *testing.B, stages []core.Stage) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := o.Run(scaled); err != nil {
+		if _, err := o.Run(context.Background(), scaled); err != nil {
 			b.Fatal(err)
 		}
 	}

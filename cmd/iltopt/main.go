@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -162,7 +163,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		res, err := o.Run(core.ScaleStages(stages, *iterdiv))
+		res, err := o.Run(context.Background(), core.ScaleStages(stages, *iterdiv))
 		if err != nil {
 			return err
 		}

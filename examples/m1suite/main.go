@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -55,7 +56,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := o.Run(core.ScaleStages(recipe.stages, cfg.IterDiv))
+			res, err := o.Run(context.Background(), core.ScaleStages(recipe.stages, cfg.IterDiv))
 			if err != nil {
 				log.Fatal(err)
 			}

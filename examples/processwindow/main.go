@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := opt.Run(core.ExactM1())
+	res, err := opt.Run(context.Background(), core.ExactM1())
 	if err != nil {
 		log.Fatal(err)
 	}

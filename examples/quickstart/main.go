@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,7 +42,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := opt.Run(core.FastM1())
+	res, err := opt.Run(context.Background(), core.FastM1())
 	if err != nil {
 		log.Fatal(err)
 	}

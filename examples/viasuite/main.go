@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := o.Run(core.ScaleStages(core.Via(), cfg.IterDiv))
+		res, err := o.Run(context.Background(), core.ScaleStages(core.Via(), cfg.IterDiv))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -19,6 +19,7 @@
 package baselines
 
 import (
+	"context"
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/litho"
@@ -37,7 +38,7 @@ func PixelILT(p *litho.Process, target *grid.Mat, iters int, region *grid.Mat) (
 	if err != nil {
 		return nil, err
 	}
-	return o.Run([]core.Stage{{Scale: 1, Iters: iters}})
+	return o.Run(context.Background(), []core.Stage{{Scale: 1, Iters: iters}})
 }
 
 // AttentionILT runs the A2-ILT-style baseline: conventional pixel ILT whose
@@ -66,7 +67,7 @@ func AttentionILT(p *litho.Process, target *grid.Mat, iters, bandPx int, region 
 	if err != nil {
 		return nil, err
 	}
-	return o.Run([]core.Stage{{Scale: 1, Iters: iters}})
+	return o.Run(context.Background(), []core.Stage{{Scale: 1, Iters: iters}})
 }
 
 // AttentionMap builds the boundary-band attention: 1 everywhere, 1+boost on

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sync"
@@ -158,7 +159,7 @@ func TestRunImprovesLoss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := o.Run([]Stage{{Scale: 4, Iters: 12}})
+	res, err := o.Run(context.Background(), []Stage{{Scale: 4, Iters: 12}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestRunMultiLevelEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := o.Run([]Stage{
+	res, err := o.Run(context.Background(), []Stage{
 		{Scale: 4, Iters: 15},
 		{Scale: 8, Iters: 3, HighRes: true},
 	})
@@ -228,7 +229,7 @@ func TestEarlyStoppingTerminates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := o.Run([]Stage{{Scale: 4, Iters: 200}})
+	res, err := o.Run(context.Background(), []Stage{{Scale: 4, Iters: 200}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +251,7 @@ func TestRegionConstraintRespected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := o.Run([]Stage{{Scale: 4, Iters: 8}})
+	res, err := o.Run(context.Background(), []Stage{{Scale: 4, Iters: 8}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +283,7 @@ func TestImprovedBinaryFunctionProducesSRAFs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := o.Run([]Stage{{Scale: 4, Iters: 40}})
+		res, err := o.Run(context.Background(), []Stage{{Scale: 4, Iters: 40}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -368,11 +369,11 @@ func TestStageValidation(t *testing.T) {
 		{Scale: 32, Iters: 1}, // working size 4 < kernel support
 		{Scale: 4, Iters: -1},
 	} {
-		if _, err := o.Run([]Stage{st}); err == nil {
+		if _, err := o.Run(context.Background(), []Stage{st}); err == nil {
 			t.Errorf("invalid stage %+v accepted", st)
 		}
 	}
-	if _, err := o.Run(nil); err == nil {
+	if _, err := o.Run(context.Background(), nil); err == nil {
 		t.Error("empty schedule accepted")
 	}
 }
@@ -414,7 +415,7 @@ func TestSmoothingPoolTradeoff(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := o.Run([]Stage{{Scale: 4, Iters: 30}})
+		res, err := o.Run(context.Background(), []Stage{{Scale: 4, Iters: 30}})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -25,7 +26,7 @@ func TestCosineBinaryRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := o.Run([]Stage{{Scale: 4, Iters: 10}})
+	res, err := o.Run(context.Background(), []Stage{{Scale: 4, Iters: 10}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestMomentumConvergesComparably(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := o.Run([]Stage{{Scale: 4, Iters: 15}})
+		res, err := o.Run(context.Background(), []Stage{{Scale: 4, Iters: 15}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -102,7 +103,7 @@ func TestLineSearchStabilizesAggressiveStep(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := o.Run([]Stage{{Scale: 4, Iters: 10}})
+		res, err := o.Run(context.Background(), []Stage{{Scale: 4, Iters: 10}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -130,7 +131,7 @@ func TestLineSearchImprovesFinalMask(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := o.Run([]Stage{{Scale: 4, Iters: 10}})
+	res, err := o.Run(context.Background(), []Stage{{Scale: 4, Iters: 10}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestUseNominalL2Improves(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := o.Run([]Stage{{Scale: 4, Iters: 10}})
+	res, err := o.Run(context.Background(), []Stage{{Scale: 4, Iters: 10}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -188,7 +189,15 @@ func New(opts Options, target *grid.Mat) (*Optimizer, error) {
 // Run executes the stages in order (Fig. 2: low-resolution levels from
 // coarse to fine, then high-resolution fine-tuning) and assembles the final
 // mask.
-func (o *Optimizer) Run(stages []Stage) (*Result, error) {
+//
+// Cancelling ctx stops the optimization promptly: the context is checked
+// before every iteration and before every line-search retry (the two
+// places a stage spends its time), so at most one simulation pass runs
+// after cancellation and no scratch leases outlive the call. Run returns
+// ctx.Err() (wrapped) in that case. Batch callers pass
+// context.Background(); the ILT server threads each job's request context
+// through here.
+func (o *Optimizer) Run(ctx context.Context, stages []Stage) (*Result, error) {
 	if len(stages) == 0 {
 		return nil, fmt.Errorf("core: no stages")
 	}
@@ -211,7 +220,7 @@ func (o *Optimizer) Run(stages []Stage) (*Result, error) {
 			return nil, fmt.Errorf("core: stage %d transition: %w", i, err)
 		}
 		curScale = st.Scale
-		cur, err = o.runStage(cur, st, i, res)
+		cur, err = o.runStage(ctx, cur, st, i, res)
 		if err != nil {
 			return nil, fmt.Errorf("core: stage %d: %w", i, err)
 		}
@@ -279,7 +288,7 @@ func resampleParams(mp *grid.Mat, from, to int) (*grid.Mat, error) {
 
 // runStage executes one stage, returning the parameters that achieved the
 // best loss (which is also what early stopping resumes from).
-func (o *Optimizer) runStage(mp *grid.Mat, st Stage, stageIdx int, res *Result) (*grid.Mat, error) {
+func (o *Optimizer) runStage(ctx context.Context, mp *grid.Mat, st Stage, stageIdx int, res *Result) (*grid.Mat, error) {
 	ztS := grid.AvgPoolDown(o.target, st.Scale)
 	var regionS *grid.Mat
 	if o.opts.Region != nil {
@@ -303,6 +312,9 @@ func (o *Optimizer) runStage(mp *grid.Mat, st Stage, stageIdx int, res *Result) 
 	itersRun := 0
 
 	for it := 0; it < st.Iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		iterStart := time.Now()
 		terms, g, err := o.step(mp, st, ztS, true)
 		if err != nil {
@@ -322,7 +334,7 @@ func (o *Optimizer) runStage(mp *grid.Mat, st Stage, stageIdx int, res *Result) 
 		step := o.opts.LearningRate
 		retries := 0
 		if o.opts.LineSearch {
-			step, retries, err = o.lineSearchStep(mp, g, st, ztS, terms.Total())
+			step, retries, err = o.lineSearchStep(ctx, mp, g, st, ztS, terms.Total())
 			if err != nil {
 				return nil, err
 			}
@@ -373,11 +385,16 @@ func (o *Optimizer) runStage(mp *grid.Mat, st Stage, stageIdx int, res *Result) 
 // configured learning rate, halve the step until the loss at the candidate
 // parameters drops below the current loss (up to 4 halvings); the final
 // candidate is committed either way. It returns the committed step size
-// and the number of halvings taken (for the iteration trace).
-func (o *Optimizer) lineSearchStep(mp, g *grid.Mat, st Stage, ztS *grid.Mat, curLoss float64) (float64, int, error) {
+// and the number of halvings taken (for the iteration trace). The context
+// is checked before each retry so a cancelled job exits the search without
+// paying for the remaining halvings.
+func (o *Optimizer) lineSearchStep(ctx context.Context, mp, g *grid.Mat, st Stage, ztS *grid.Mat, curLoss float64) (float64, int, error) {
 	step := o.opts.LearningRate
 	cand := mp.Clone()
 	for try := 0; ; try++ {
+		if err := ctx.Err(); err != nil {
+			return 0, try, err
+		}
 		cand.CopyFrom(mp)
 		cand.AddScaled(-step, g)
 		terms, _, err := o.step(cand, st, ztS, false)

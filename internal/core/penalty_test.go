@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -149,7 +150,7 @@ func TestTVPenaltyReducesShots(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := o.Run([]Stage{{Scale: 4, Iters: 25}})
+		res, err := o.Run(context.Background(), []Stage{{Scale: 4, Iters: 25}})
 		if err != nil {
 			t.Fatal(err)
 		}

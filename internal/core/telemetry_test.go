@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/telemetry"
@@ -25,7 +26,7 @@ func TestRunStageEmitsIterationEvents(t *testing.T) {
 		t.Fatal(err)
 	}
 	stages := []Stage{{Scale: 4, Iters: 3}, {Scale: 4, HighRes: true, Iters: 2}}
-	res, err := o.Run(stages)
+	res, err := o.Run(context.Background(), stages)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestRunWithoutRecorder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := o.Run([]Stage{{Scale: 4, Iters: 2}})
+	res, err := o.Run(context.Background(), []Stage{{Scale: 4, Iters: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 
@@ -111,7 +112,7 @@ func Convergence(c Config) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := o.Run(v.stages)
+		res, err := o.Run(context.Background(), v.stages)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", v.name, err)
 		}

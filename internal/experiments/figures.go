@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 
@@ -97,7 +98,7 @@ func Fig4(c Config) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := o.Run([]core.Stage{{Scale: 4, Iters: iters}})
+		res, err := o.Run(context.Background(), []core.Stage{{Scale: 4, Iters: iters}})
 		if err != nil {
 			return nil, err
 		}
@@ -200,7 +201,7 @@ func Fig6(c Config) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := o.Run([]core.Stage{{Scale: 4, Iters: iters}})
+		res, err := o.Run(context.Background(), []core.Stage{{Scale: 4, Iters: iters}})
 		if err != nil {
 			return nil, err
 		}
@@ -272,7 +273,7 @@ func Fig8(c Config) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := o.Run(core.ScaleStages(core.Via(), c.IterDiv))
+	res, err := o.Run(context.Background(), core.ScaleStages(core.Via(), c.IterDiv))
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/baselines"
@@ -50,7 +51,7 @@ func (c Config) runRecipe(p *litho.Process, method string, target *grid.Mat, sta
 	if err != nil {
 		return Measured{}, fmt.Errorf("%s: %w", method, err)
 	}
-	res, err := o.Run(core.ScaleStages(stages, c.IterDiv))
+	res, err := o.Run(context.Background(), core.ScaleStages(stages, c.IterDiv))
 	if err != nil {
 		return Measured{}, fmt.Errorf("%s: %w", method, err)
 	}

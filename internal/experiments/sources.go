@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 
@@ -36,7 +37,7 @@ func Sources(c Config) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := o.Run(core.ScaleStages(core.ExactM1(), c.IterDiv))
+		res, err := o.Run(context.Background(), core.ScaleStages(core.ExactM1(), c.IterDiv))
 		if err != nil {
 			return nil, fmt.Errorf("%v: %w", shape, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 
@@ -50,7 +51,7 @@ func Table1(c Config) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := o.Run(v.stages)
+		res, err := o.Run(context.Background(), v.stages)
 		if err != nil {
 			return nil, fmt.Errorf("table1 %s: %w", v.name, err)
 		}

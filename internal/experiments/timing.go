@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"time"
@@ -124,7 +125,7 @@ func IterationTime(c Config, iters int) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := o.Run([]core.Stage{v.stage})
+		res, err := o.Run(context.Background(), []core.Stage{v.stage})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", v.name, err)
 		}

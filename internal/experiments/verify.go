@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"time"
@@ -94,7 +95,7 @@ func Verify(c Config) (*report.Table, error) {
 			return 0, err
 		}
 		st.Iters = maxInt(2, 6/c.IterDiv)
-		res, err := o.Run([]core.Stage{st})
+		res, err := o.Run(context.Background(), []core.Stage{st})
 		if err != nil {
 			return 0, err
 		}
@@ -126,7 +127,7 @@ func Verify(c Config) (*report.Table, error) {
 		if err != nil {
 			return Measured{}, err
 		}
-		res, err := o.Run(core.ScaleStages(stages, c.IterDiv))
+		res, err := o.Run(context.Background(), core.ScaleStages(stages, c.IterDiv))
 		if err != nil {
 			return Measured{}, err
 		}
@@ -193,7 +194,7 @@ func Verify(c Config) (*report.Table, error) {
 			if err != nil {
 				return Measured{}, 0, err
 			}
-			res, err := o.Run([]core.Stage{{Scale: 4, Iters: maxInt(2, 40/c.IterDiv)}})
+			res, err := o.Run(context.Background(), []core.Stage{{Scale: 4, Iters: maxInt(2, 40/c.IterDiv)}})
 			if err != nil {
 				return Measured{}, 0, err
 			}
@@ -263,7 +264,7 @@ func Verify(c Config) (*report.Table, error) {
 		if div > 5 {
 			div = 5 // the via flow needs a real budget to converge
 		}
-		res, err := o.Run(core.ScaleStages(core.Via(), div))
+		res, err := o.Run(context.Background(), core.ScaleStages(core.Via(), div))
 		if err != nil {
 			return nil, err
 		}

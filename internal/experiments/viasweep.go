@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 
@@ -42,7 +43,7 @@ func ViaSweep(c Config) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := o.Run(core.ScaleStages(core.Via(), c.IterDiv))
+		res, err := o.Run(context.Background(), core.ScaleStages(core.Via(), c.IterDiv))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", cs.Name, err)
 		}

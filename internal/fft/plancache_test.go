@@ -1,0 +1,63 @@
+package fft
+
+import (
+	"sync"
+	"testing"
+)
+
+// A PlanCache must construct exactly one plan per size under concurrent
+// first access, report the build to exactly one caller, and hand every
+// goroutine the same instance.
+func TestPlanCacheSingleflight(t *testing.T) {
+	var c PlanCache
+	const goroutines = 16
+	plans := make([]*Plan2, goroutines)
+	builds := make([]bool, goroutines)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			p, built, err := c.Get(64)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			plans[g], builds[g] = p, built
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+
+	nbuilds := 0
+	for g := 0; g < goroutines; g++ {
+		if builds[g] {
+			nbuilds++
+		}
+		if plans[g] != plans[0] {
+			t.Fatalf("goroutine %d got a different plan instance", g)
+		}
+	}
+	if nbuilds != 1 {
+		t.Errorf("%d goroutines observed built=true, want exactly 1", nbuilds)
+	}
+	if c.Builds() != 1 {
+		t.Errorf("Builds() = %d, want 1", c.Builds())
+	}
+	if c.Sizes() != 1 {
+		t.Errorf("Sizes() = %d, want 1", c.Sizes())
+	}
+
+	// A second size builds exactly one more; a repeat hit builds nothing.
+	if _, built, err := c.Get(32); err != nil || !built {
+		t.Fatalf("Get(32) = built %v, err %v; want a fresh build", built, err)
+	}
+	if _, built, err := c.Get(64); err != nil || built {
+		t.Fatalf("repeat Get(64) = built %v, err %v; want a cache hit", built, err)
+	}
+	if c.Builds() != 2 || c.Sizes() != 2 {
+		t.Errorf("after second size: Builds() = %d, Sizes() = %d, want 2, 2", c.Builds(), c.Sizes())
+	}
+}

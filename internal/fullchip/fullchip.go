@@ -12,6 +12,7 @@
 package fullchip
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -178,7 +179,7 @@ func Optimize(opt Options, target *grid.Mat) (*Result, error) {
 			outcomes[idx].err = &TileError{TX: tx, TY: ty, Err: err}
 			return
 		}
-		r, err := o.Run(opt.Stages)
+		r, err := o.Run(context.Background(), opt.Stages)
 		if err != nil {
 			outcomes[idx].err = &TileError{TX: tx, TY: ty, Err: err}
 			return

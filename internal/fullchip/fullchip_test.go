@@ -1,6 +1,7 @@
 package fullchip
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -132,7 +133,7 @@ func TestTiledMatchesMonolithicQuality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	monoRes, err := mono.Run(stages)
+	monoRes, err := mono.Run(context.Background(), stages)
 	if err != nil {
 		t.Fatal(err)
 	}

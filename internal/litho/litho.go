@@ -31,7 +31,6 @@ package litho
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/fft"
@@ -81,21 +80,18 @@ type Sim struct {
 	// perform no extra allocations. Set it before sharing the Sim across
 	// goroutines.
 	Recorder *telemetry.Recorder
+	// Plans, when non-nil, is a shared FFT-plan cache. Long-running
+	// processes (the ILT server) point every per-job Sim at one cache so
+	// plan construction is amortized across jobs, not just across the
+	// iterations of one optimization. Nil (the default) gives the Sim a
+	// private cache. Set it before the first simulation.
+	Plans *fft.PlanCache
 
-	plans      sync.Map // int → *planEntry
+	ownPlans   fft.PlanCache
 	planBuilds atomic.Int32
 
 	cscratch grid.CMatPool // complex per-worker scratch (amplitudes, spectra)
 	mscratch grid.MatPool  // real per-kernel intensity contributions
-}
-
-// planEntry is the singleflight slot for one plan size: concurrent first
-// calls for the same size share one construction instead of each building a
-// Plan2 and discarding all but one.
-type planEntry struct {
-	once sync.Once
-	plan *fft.Plan2
-	err  error
 }
 
 // NewSim creates a simulator over a built kernel model.
@@ -104,20 +100,20 @@ func NewSim(model *optics.Model) *Sim {
 }
 
 // Plan returns (building if needed) the 2-D FFT plan for size m. Plan
-// construction happens exactly once per size, no matter how many goroutines
-// ask concurrently.
+// construction happens exactly once per size per cache, no matter how many
+// goroutines ask concurrently; with a shared Plans cache, once per size
+// per process.
 func (s *Sim) Plan(m int) (*fft.Plan2, error) {
-	v, ok := s.plans.Load(m)
-	if !ok {
-		v, _ = s.plans.LoadOrStore(m, &planEntry{})
+	cache := s.Plans
+	if cache == nil {
+		cache = &s.ownPlans
 	}
-	e := v.(*planEntry)
-	e.once.Do(func() {
+	plan, built, err := cache.Get(m)
+	if built {
 		s.planBuilds.Add(1)
 		s.Recorder.Add("litho.plan_builds", 1)
-		e.plan, e.err = fft.NewPlan2(m, m)
-	})
-	return e.plan, e.err
+	}
+	return plan, err
 }
 
 // kernelWorkers resolves the effective fan-out for a k-kernel loop.

@@ -1,0 +1,186 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func cancelJob(t *testing.T, base, id string) jobStatus {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, base+"/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("cancel %s: %v", id, err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel %s: HTTP %d", id, resp.StatusCode)
+	}
+	return getStatus(t, base, id)
+}
+
+// TestCancelQueuedJob cancels a job that is still waiting: the transition
+// is immediate, the executor never touches it, and its SSE stream closes.
+func TestCancelQueuedJob(t *testing.T) {
+	s, base := newTestServer(t, server.Config{QueueCap: 4, Executors: 1})
+
+	_, blocker, _ := submit(t, base, longJob)
+	waitState(t, base, blocker, "running", time.Minute)
+
+	_, queued, _ := submit(t, base, smallJob)
+	if st := getStatus(t, base, queued); st.State != "queued" {
+		t.Fatalf("filler state %q, want queued", st.State)
+	}
+	st := cancelJob(t, base, queued)
+	if st.State != "canceled" {
+		t.Fatalf("canceled queued job reports %q", st.State)
+	}
+	j, ok := s.Job(queued)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(time.Second):
+		t.Fatal("queued job's Done channel not closed after cancel")
+	}
+	m := getMetrics(t, base)
+	if m.Counters["server.jobs_canceled"] != 1 {
+		t.Errorf("jobs_canceled = %d, want 1 (no double count)", m.Counters["server.jobs_canceled"])
+	}
+
+	cancelJob(t, base, blocker)
+	waitState(t, base, blocker, "canceled", time.Minute)
+}
+
+// TestCancelRunningJob interrupts a job mid-iteration and requires a prompt
+// return: the optimizer must observe the context within one coarse
+// iteration, not run out its 1500-iteration budget.
+func TestCancelRunningJob(t *testing.T) {
+	s, base := newTestServer(t, server.Config{Executors: 1})
+
+	_, id, _ := submit(t, base, longJob)
+	waitState(t, base, id, "running", time.Minute)
+	// Let it actually iterate before pulling the plug.
+	deadline := time.Now().Add(time.Minute)
+	for getStatus(t, base, id).Events < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("job produced no iteration events")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	start := time.Now()
+	cancelJob(t, base, id)
+	st := waitState(t, base, id, "canceled", 30*time.Second)
+	if took := time.Since(start); took > 10*time.Second {
+		t.Errorf("cancellation took %v, want prompt return", took)
+	}
+	if st.Result != nil {
+		t.Errorf("canceled job carries a result: %+v", st.Result)
+	}
+
+	j, _ := s.Job(id)
+	select {
+	case <-j.Done():
+	case <-time.After(time.Second):
+		t.Fatal("running job's Done channel not closed after cancel")
+	}
+	m := getMetrics(t, base)
+	if m.Counters["server.jobs_canceled"] != 1 {
+		t.Errorf("jobs_canceled = %d, want exactly 1", m.Counters["server.jobs_canceled"])
+	}
+	// Canceling a terminal job is a harmless no-op.
+	if st := cancelJob(t, base, id); st.State != "canceled" {
+		t.Errorf("second cancel flipped state to %q", st.State)
+	}
+	if m := getMetrics(t, base); m.Counters["server.jobs_canceled"] != 1 {
+		t.Errorf("second cancel double-counted: %d", m.Counters["server.jobs_canceled"])
+	}
+}
+
+// TestGracefulDrain is the SIGTERM path: running and already-queued jobs
+// finish, new submissions bounce with 503, Drain returns cleanly.
+func TestGracefulDrain(t *testing.T) {
+	s, base := newTestServer(t, server.Config{QueueCap: 4, Executors: 1})
+
+	_, running, _ := submit(t, base, smallJob)
+	_, queued, _ := submit(t, base, smallJob)
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	if code, _, _ := submit(t, base, smallJob); code != http.StatusServiceUnavailable {
+		t.Errorf("submit during drain: HTTP %d, want 503", code)
+	}
+
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, id := range []string{running, queued} {
+		if st := getStatus(t, base, id); st.State != "done" {
+			t.Errorf("job %s after drain: %q (error %q), want done", id, st.State, st.Error)
+		}
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Queued int    `json:"queued"`
+	}
+	errDecode := json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if errDecode != nil {
+		t.Fatal(errDecode)
+	}
+	if health.Status != "draining" || health.Queued != 0 {
+		t.Errorf("healthz after drain = %+v, want draining with empty queue", health)
+	}
+
+	// Idempotent: a second drain returns immediately.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Errorf("second drain: %v", err)
+	}
+}
+
+// TestDrainDeadlineCancelsStragglers bounds the drain: when the context
+// expires, outstanding jobs are cancelled rather than held onto forever.
+func TestDrainDeadlineCancelsStragglers(t *testing.T) {
+	s, base := newTestServer(t, server.Config{Executors: 1})
+
+	_, id, _ := submit(t, base, longJob)
+	waitState(t, base, id, "running", time.Minute)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := s.Drain(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain past deadline: err = %v, want DeadlineExceeded", err)
+	}
+	// Drain returned only after the executor pool exited, so the job is
+	// terminal now — no polling needed.
+	if st := getStatus(t, base, id); st.State != "canceled" {
+		t.Errorf("straggler state %q, want canceled", st.State)
+	}
+}

@@ -1,0 +1,94 @@
+package server_test
+
+import (
+	"testing"
+
+	"repro/internal/server"
+)
+
+// FuzzParseJobRequest drives arbitrary bytes through the submission parser.
+// The contract under fuzz: never panic, never accept garbage — any spec
+// that comes back error-free must be fully resolved (target raster, a
+// non-empty validated schedule, in-range knobs), because executors run it
+// without further checks.
+func FuzzParseJobRequest(f *testing.F) {
+	seeds := []string{
+		// Valid shapes, so the fuzzer explores the deep paths too.
+		`{"case":1}`,
+		`{"case":7,"n":256,"field_nm":1024,"kernels":12,"recipe":"exact","iterdiv":10}`,
+		`{"via":3,"recipe":"via","priority":"interactive","metrics":true}`,
+		`{"case":1,"n":128,"field_nm":512,"kernels":8,"workers":1,"stages":[{"scale":4,"iters":3},{"scale":2,"iters":2}]}`,
+		`{"layout":"SIZE 128\nPIXEL 4\nRECT 10 10 50 30\n"}`,
+		`{"case":2,"momentum":0.9,"linesearch":true,"tv":0.001,"curvature":0.0005,"patience":5}`,
+		// Malformed / hostile shapes.
+		``,
+		`null`,
+		`[]`,
+		`{"case":1,"unknown_field":true}`,
+		`{"case":1} trailing`,
+		`{"case":1,"n":-128}`,
+		`{"case":1,"n":1073741824}`,
+		`{"case":1,"n":127}`,
+		`{"case":1,"field_nm":1e308}`,
+		`{"case":1,"field_nm":-5}`,
+		`{"case":1,"momentum":1.0}`,
+		`{"case":1,"kernels":100000}`,
+		`{"case":21}`,
+		`{"case":1,"via":1}`,
+		`{"case":1,"recipe":"fast","stages":[{"scale":1,"iters":1}]}`,
+		`{"case":1,"stages":[{"scale":0,"iters":1}]}`,
+		`{"case":1,"stages":[{"scale":4,"iters":-1}]}`,
+		`{"case":1,"n":128,"field_nm":512,"stages":[{"scale":64,"iters":1}]}`,
+		`{"case":1,"iterdiv":0}`,
+		`{"case":1,"iterdiv":-3}`,
+		`{"case":1,"workers":-1}`,
+		`{"case":1,"priority":"asap"}`,
+		`{"layout":"SIZE 0\n"}`,
+		`{"layout":"RECT 1 2 3"}`,
+		`{"layout":"SIZE 128\nRECT -5 -5 byte overflow\n"}`,
+		`{"case":1,"stages":[` + repeatStage(40) + `{"scale":1,"iters":1}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	lim := server.Limits{MaxN: 1024} // small cap keeps fuzz iterations cheap
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := server.ParseJobRequest(data, lim)
+		if err != nil {
+			if spec != nil {
+				t.Fatalf("error %v alongside a non-nil spec", err)
+			}
+			return
+		}
+		if spec.Target == nil || spec.Target.W < 64 || spec.Target.W > 1024 {
+			t.Fatalf("accepted spec with bad target: %+v", spec.Target)
+		}
+		if len(spec.Stages) == 0 || len(spec.Stages) > 16 {
+			t.Fatalf("accepted spec with %d stages", len(spec.Stages))
+		}
+		total := 0
+		for _, st := range spec.Stages {
+			if st.Scale < 1 || spec.Target.W%st.Scale != 0 {
+				t.Fatalf("accepted stage with scale %d for n=%d", st.Scale, spec.Target.W)
+			}
+			total += st.Iters
+		}
+		if total > 2000 {
+			t.Fatalf("accepted %d total iterations over the default budget", total)
+		}
+		if err := spec.Optics.Validate(); err != nil {
+			t.Fatalf("accepted invalid optics config: %v", err)
+		}
+		if spec.Req.Momentum < 0 || spec.Req.Momentum >= 1 {
+			t.Fatalf("accepted momentum %g", spec.Req.Momentum)
+		}
+	})
+}
+
+func repeatStage(n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		out += `{"scale":1,"iters":1},`
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by push when the queue holds its capacity of
+// waiting jobs; the HTTP layer maps it to 429 with a Retry-After hint.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// ErrQueueClosed is returned by push after close — the server is draining
+// and accepts no new work; the HTTP layer maps it to 503.
+var ErrQueueClosed = errors.New("server: job queue closed")
+
+// jobQueue is a bounded, two-priority FIFO. Capacity bounds only the
+// *waiting* jobs — running jobs have already left the queue, so the
+// admission bound and the concurrency bound (the executor count) compose
+// independently. All methods are safe for concurrent use.
+type jobQueue struct {
+	mu          sync.Mutex
+	nonEmpty    *sync.Cond
+	capacity    int
+	interactive []*Job
+	batch       []*Job
+	closed      bool
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	q := &jobQueue{capacity: capacity}
+	q.nonEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a job in its priority class, rejecting when full or closed.
+func (q *jobQueue) push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if len(q.interactive)+len(q.batch) >= q.capacity {
+		return ErrQueueFull
+	}
+	if j.Priority == PriorityInteractive {
+		q.interactive = append(q.interactive, j)
+	} else {
+		q.batch = append(q.batch, j)
+	}
+	q.nonEmpty.Signal()
+	return nil
+}
+
+// pop blocks until a job is available (interactive before batch, FIFO
+// within a class) or the queue is closed and empty, reporting ok=false in
+// the latter case. A closed queue still hands out its remaining jobs —
+// drain semantics: accepted work is finished, new work is rejected.
+func (q *jobQueue) pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.interactive) == 0 && len(q.batch) == 0 && !q.closed {
+		q.nonEmpty.Wait()
+	}
+	if len(q.interactive) > 0 {
+		j := q.interactive[0]
+		q.interactive = q.interactive[1:]
+		return j, true
+	}
+	if len(q.batch) > 0 {
+		j := q.batch[0]
+		q.batch = q.batch[1:]
+		return j, true
+	}
+	return nil, false // closed and empty
+}
+
+// depth reports the waiting counts per class.
+func (q *jobQueue) depth() (interactive, batch int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.interactive), len(q.batch)
+}
+
+// close stops admission and wakes every blocked pop so executors can
+// drain the remaining jobs and exit.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.nonEmpty.Broadcast()
+}

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"errors"
+	"testing"
+)
+
+func qjob(p Priority) *Job { return &Job{Priority: p} }
+
+func TestQueuePriorityOrdering(t *testing.T) {
+	q := newJobQueue(8)
+	b1, b2 := qjob(PriorityBatch), qjob(PriorityBatch)
+	i1, i2 := qjob(PriorityInteractive), qjob(PriorityInteractive)
+	for _, j := range []*Job{b1, i1, b2, i2} {
+		if err := q.push(j); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+	}
+	// Interactive drains first, FIFO within each class.
+	want := []*Job{i1, i2, b1, b2}
+	for k, w := range want {
+		j, ok := q.pop()
+		if !ok || j != w {
+			t.Fatalf("pop %d: got %p ok=%v, want %p", k, j, ok, w)
+		}
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	q := newJobQueue(2)
+	if err := q.push(qjob(PriorityBatch)); err != nil {
+		t.Fatalf("push 1: %v", err)
+	}
+	if err := q.push(qjob(PriorityInteractive)); err != nil {
+		t.Fatalf("push 2: %v", err)
+	}
+	// Capacity is shared across classes: a third job of either class bounces.
+	if err := q.push(qjob(PriorityInteractive)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("push beyond capacity: err = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestQueueCloseDrainsRemaining(t *testing.T) {
+	q := newJobQueue(4)
+	j1, j2 := qjob(PriorityBatch), qjob(PriorityBatch)
+	if err := q.push(j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(j2); err != nil {
+		t.Fatal(err)
+	}
+	q.close()
+	// Closed queue rejects new work but still hands out accepted work.
+	if err := q.push(qjob(PriorityBatch)); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("push after close: err = %v, want ErrQueueClosed", err)
+	}
+	if j, ok := q.pop(); !ok || j != j1 {
+		t.Fatalf("pop after close: got %p ok=%v, want %p", j, ok, j1)
+	}
+	if j, ok := q.pop(); !ok || j != j2 {
+		t.Fatalf("pop after close: got %p ok=%v, want %p", j, ok, j2)
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop on closed empty queue reported ok")
+	}
+}
+
+func TestQueueCloseWakesBlockedPop(t *testing.T) {
+	q := newJobQueue(1)
+	done := make(chan bool)
+	go func() {
+		_, ok := q.pop()
+		done <- ok
+	}()
+	q.close()
+	if ok := <-done; ok {
+		t.Fatal("blocked pop returned a job after close of an empty queue")
+	}
+}

@@ -1,0 +1,249 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/telemetry"
+)
+
+// JobState is the lifecycle of a job. Transitions:
+// queued → running → {done, failed, canceled}; queued → canceled.
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobResult is the JSON summary of a finished job.
+type JobResult struct {
+	Iterations int     `json:"iterations"`
+	ILTSeconds float64 `json:"ilt_sec"`
+	FinalLoss  float64 `json:"final_loss"`
+	// MaskSHA256 fingerprints the final mask bit-for-bit (dimensions plus
+	// the IEEE-754 bits of every pixel), so clients — and the soak test —
+	// can assert determinism without downloading the mask.
+	MaskSHA256 string `json:"mask_sha256"`
+	// Contest metrics, present only when the job requested them.
+	L2    *float64 `json:"l2_nm2,omitempty"`
+	PVB   *float64 `json:"pvb_nm2,omitempty"`
+	EPE   *int     `json:"epe,omitempty"`
+	Shots *int     `json:"shots,omitempty"`
+}
+
+// maskFingerprint hashes a mask's exact bit pattern.
+func maskFingerprint(m *grid.Mat) string {
+	h := sha256.New()
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(m.W))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(m.H))
+	h.Write(hdr[:])
+	var buf [8]byte
+	for _, v := range m.Data {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Job is one accepted optimization. The mutable fields are guarded by mu;
+// the event log has its own lock so SSE readers never contend with state
+// transitions.
+type Job struct {
+	ID       string
+	Name     string
+	Priority Priority
+
+	spec   *JobSpec
+	ctx    context.Context
+	cancel context.CancelFunc
+	rec    *telemetry.Recorder
+	events eventLog
+
+	mu       sync.Mutex
+	state    JobState
+	errMsg   string
+	result   *JobResult
+	mask     *grid.Mat
+	pixelNM  float64
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	done chan struct{}
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Cancel requests cancellation. Queued jobs transition immediately (the
+// executor will skip them); running jobs transition when the optimizer
+// observes the context, which happens within one iteration. Terminal jobs
+// are unaffected. Reports whether this call itself terminated a queued job
+// (running jobs are accounted for when the executor observes the
+// cancellation, so callers never double-count).
+func (j *Job) Cancel() bool {
+	j.mu.Lock()
+	direct := j.state == StateQueued
+	if direct {
+		j.state = StateCanceled
+		j.finished = time.Now()
+	}
+	j.mu.Unlock()
+	j.cancel()
+	if direct {
+		j.closeEvents()
+	}
+	return direct
+}
+
+// Done exposes the completion channel (closed on any terminal state).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// markRunning moves queued → running; returns false if the job was
+// canceled while waiting in the queue.
+func (j *Job) markRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish records the terminal state and wakes waiters exactly once.
+func (j *Job) finish(state JobState, errMsg string, res *JobResult, mask *grid.Mat) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.errMsg = errMsg
+	j.result = res
+	j.mask = mask
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.closeEvents()
+}
+
+// closeEvents marks the event stream complete and closes done. Idempotent
+// via the event log's own latch.
+func (j *Job) closeEvents() {
+	if j.events.markDone() {
+		close(j.done)
+	}
+}
+
+// statusJSON is the wire form of GET /jobs/{id}.
+type statusJSON struct {
+	ID         string     `json:"id"`
+	Name       string     `json:"name"`
+	State      JobState   `json:"state"`
+	Priority   string     `json:"priority"`
+	Error      string     `json:"error,omitempty"`
+	Result     *JobResult `json:"result,omitempty"`
+	CreatedSec float64    `json:"age_sec"`
+	Events     int        `json:"events"`
+}
+
+func (j *Job) status() statusJSON {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return statusJSON{
+		ID:         j.ID,
+		Name:       j.Name,
+		State:      j.state,
+		Priority:   j.Priority.String(),
+		Error:      j.errMsg,
+		Result:     j.result,
+		CreatedSec: time.Since(j.created).Seconds(),
+		Events:     j.events.len(),
+	}
+}
+
+// eventLog buffers a job's telemetry events as pre-marshaled JSON lines
+// (the telemetry.MarshalEvent encoding, which ValidateTrace accepts) and
+// lets any number of SSE readers replay-then-follow. Emit is invoked under
+// the recorder's event lock; readers take only the log's own lock.
+type eventLog struct {
+	mu      sync.Mutex
+	lines   [][]byte
+	names   []string
+	done    bool
+	changed chan struct{} // closed and replaced on every append / markDone
+}
+
+func (l *eventLog) init() {
+	l.changed = make(chan struct{})
+}
+
+// Emit implements telemetry.Sink.
+func (l *eventLog) Emit(e telemetry.Event) {
+	b := telemetry.MarshalEvent(e)
+	l.mu.Lock()
+	l.lines = append(l.lines, b)
+	l.names = append(l.names, e.Name)
+	l.signalLocked()
+	l.mu.Unlock()
+}
+
+// Flush implements telemetry.Sink.
+func (l *eventLog) Flush() error { return nil }
+
+func (l *eventLog) signalLocked() {
+	close(l.changed)
+	l.changed = make(chan struct{})
+}
+
+// markDone seals the log; returns true on the first call.
+func (l *eventLog) markDone() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done {
+		return false
+	}
+	l.done = true
+	l.signalLocked()
+	return true
+}
+
+func (l *eventLog) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.lines)
+}
+
+// wait returns the lines and names from index `from` on, whether the log
+// is sealed, and a channel that is closed on the next change (for
+// followers to select on alongside their client's context).
+func (l *eventLog) wait(from int) (lines [][]byte, names []string, done bool, changed <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < len(l.lines) {
+		lines = l.lines[from:]
+		names = l.names[from:]
+	}
+	return lines, names, l.done, l.changed
+}

@@ -24,11 +24,13 @@ type snapshot struct {
 	Counters   map[string]int64 `json:"counters"`
 }
 
-// ServeDebug serves net/http/pprof and expvar on addr (e.g. "localhost:6060"
-// or ":0" for an ephemeral port) in a background goroutine. The recorder's
-// phases and counters appear as the "ilt" expvar at /debug/vars alongside
-// the standard memstats. Returns the bound address and a shutdown func.
-func ServeDebug(addr string, r *Recorder) (string, func() error, error) {
+// AttachDebug registers the debug endpoints — /debug/vars (expvar, with
+// the recorder's phases and counters as the "ilt" variable) and
+// /debug/pprof/ — on an existing mux, and makes r the recorder the "ilt"
+// expvar snapshots. The long-running ILT server mounts these next to its
+// own API routes; ServeDebug wraps the same registration in a standalone
+// listener for the batch CLIs.
+func AttachDebug(mux *http.ServeMux, r *Recorder) {
 	debugRecorder.Store(r)
 	publishOnce.Do(func() {
 		expvar.Publish("ilt", expvar.Func(func() any {
@@ -40,14 +42,21 @@ func ServeDebug(addr string, r *Recorder) (string, func() error, error) {
 			}
 		}))
 	})
-
-	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// ServeDebug serves net/http/pprof and expvar on addr (e.g. "localhost:6060"
+// or ":0" for an ephemeral port) in a background goroutine. The recorder's
+// phases and counters appear as the "ilt" expvar at /debug/vars alongside
+// the standard memstats. Returns the bound address and a shutdown func.
+func ServeDebug(addr string, r *Recorder) (string, func() error, error) {
+	mux := http.NewServeMux()
+	AttachDebug(mux, r)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

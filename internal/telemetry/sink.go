@@ -28,6 +28,17 @@ func WithTrace(w io.Writer) Option {
 }
 
 func (s *traceSink) Emit(e Event) {
+	s.w.Write(MarshalEvent(e))
+	s.w.WriteByte('\n')
+}
+
+// MarshalEvent renders one event as the JSON object the trace sink writes:
+// the payload fields merged next to the reserved "event"/"seq"/"ts" keys,
+// with map keys sorted by json.Marshal so the bytes are deterministic given
+// a deterministic clock. The ILT server reuses this encoding for its SSE
+// data frames, so tracecheck's ValidateTrace accepts a captured event
+// stream unchanged.
+func MarshalEvent(e Event) []byte {
 	obj := make(map[string]any, len(e.Fields)+3)
 	for k, v := range e.Fields {
 		obj[k] = v
@@ -42,8 +53,7 @@ func (s *traceSink) Emit(e Event) {
 		b = []byte(fmt.Sprintf(`{"event":"encode_error","seq":%d,"ts":%g,"error":%q}`,
 			e.Seq, e.TS, err.Error()))
 	}
-	s.w.Write(b)
-	s.w.WriteByte('\n')
+	return b
 }
 
 func (s *traceSink) Flush() error {
