@@ -1,6 +1,7 @@
 GO ?= go
+BIN_DIR := bin
 
-.PHONY: all build test race trace-smoke server-smoke server-race bench bench-workers bench-fft bench-compare vet lint bench-lint check
+.PHONY: all build test race trace-smoke trace-stat server-smoke server-race bench bench-workers bench-fft bench-compare vet lint bench-lint check
 
 all: build test
 
@@ -31,6 +32,32 @@ trace-smoke:
 	$(GO) run ./cmd/tracecheck -trace artifacts/trace_smoke.jsonl \
 		-manifest artifacts/trace_smoke_manifest.json
 
+# Trace-analytics lane: a short deterministic optimization writes a trace,
+# tracecheck validates its schema, tracestat renders the analytics report
+# into artifacts/, and the compare gate proves the regression detector
+# works — the committed A/B fixture pair carries an injected +20% per-call
+# slowdown in litho.socs, so `tracestat -compare` MUST exit 2 (any other
+# status, including 0, fails the lane).
+# (tracestat is run as a built binary, not via `go run`: go run collapses
+# the program's exit status to 1, which would defeat the exit-2 assertion.)
+TRACESTAT := $(BIN_DIR)/tracestat
+
+$(TRACESTAT): FORCE
+	@mkdir -p $(BIN_DIR)
+	$(GO) build -o $(TRACESTAT) ./cmd/tracestat
+
+trace-stat: $(TRACESTAT)
+	mkdir -p artifacts
+	$(GO) run ./cmd/iltopt -case 1 -n 128 -field 512 -kernels 8 -iterdiv 10 \
+		-workers 1 -recipe fast -trace artifacts/trace_stat.jsonl
+	$(GO) run ./cmd/tracecheck -trace artifacts/trace_stat.jsonl -min-coverage 0
+	$(TRACESTAT) artifacts/trace_stat.jsonl | tee artifacts/trace_stat_report.txt
+	$(TRACESTAT) -compare \
+		internal/tracestat/testdata/compare_old.jsonl \
+		internal/tracestat/testdata/compare_new.jsonl -threshold 10% \
+		> artifacts/trace_stat_compare.txt 2>&1; st=$$?; \
+		cat artifacts/trace_stat_compare.txt; test $$st -eq 2
+
 # Serving lane, part 1: the iltserver self-contained smoke flow — boot the
 # daemon on an ephemeral port, submit one small job over real HTTP, stream
 # its SSE progress to completion, check the result, /healthz and /metrics,
@@ -56,7 +83,6 @@ vet:
 # counts. See README ("iltlint") and DESIGN.md ("Static analysis"). The
 # ./... wildcard skips testdata, so the deliberately violating lint
 # fixtures are not linted.
-BIN_DIR := bin
 ILTLINT := $(BIN_DIR)/iltlint
 
 $(ILTLINT): FORCE

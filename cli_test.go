@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -76,5 +77,72 @@ func TestCLIEndToEnd(t *testing.T) {
 	cmd := exec.Command(filepath.Join(bin, "mltables"), "-exp", "nosuch")
 	if out, err := cmd.CombinedOutput(); err == nil {
 		t.Fatalf("mltables accepted unknown experiment:\n%s", out)
+	}
+}
+
+// TestTracestatCLI drives the trace-analytics tool the way the trace-stat
+// lane does: report a real optimizer trace, then gate an A/B pair with a
+// known injected slowdown — which must exit with the dedicated code 2.
+func TestTracestatCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration builds binaries; skipped in -short mode")
+	}
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin+string(os.PathSeparator),
+		"./cmd/iltopt", "./cmd/tracestat")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	work := t.TempDir()
+	trace := filepath.Join(work, "run.jsonl")
+
+	// A short deterministic run produces the trace under analysis.
+	opt := exec.Command(filepath.Join(bin, "iltopt"), "-case", "1", "-n", "128",
+		"-field", "512", "-kernels", "8", "-iterdiv", "20", "-workers", "1",
+		"-recipe", "fast", "-trace", trace)
+	if out, err := opt.CombinedOutput(); err != nil {
+		t.Fatalf("iltopt: %v\n%s", err, out)
+	}
+
+	// Report mode: the analytics sections must cover phases, iterations,
+	// and the histogram summaries the recorder flushes at close.
+	rep := exec.Command(filepath.Join(bin, "tracestat"), trace)
+	out, err := rep.CombinedOutput()
+	if err != nil {
+		t.Fatalf("tracestat: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"trace report:", "iteration latency", "phases by wall time",
+		"phase coverage:", "litho.socs", "latency histograms", "core.iter",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// Compare mode on the committed fixtures (old vs new with an injected
+	// +20% per-call slowdown in litho.socs) must exit exactly 2.
+	cmp := exec.Command(filepath.Join(bin, "tracestat"), "-compare",
+		"internal/tracestat/testdata/compare_old.jsonl",
+		"internal/tracestat/testdata/compare_new.jsonl", "-threshold", "10%")
+	out, err = cmp.CombinedOutput()
+	if err == nil {
+		t.Fatalf("compare with injected slowdown passed:\n%s", out)
+	}
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 2 {
+		t.Fatalf("compare exit = %v, want exit code 2\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "REGRESSED") {
+		t.Errorf("compare output missing REGRESSED verdict:\n%s", out)
+	}
+
+	// The same pair under a slack threshold passes with exit 0.
+	ok := exec.Command(filepath.Join(bin, "tracestat"), "-compare",
+		"internal/tracestat/testdata/compare_old.jsonl",
+		"internal/tracestat/testdata/compare_new.jsonl", "-threshold", "25%")
+	if out, err := ok.CombinedOutput(); err != nil {
+		t.Fatalf("compare at 25%%: %v\n%s", err, out)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/baselines"
 	"repro/internal/bench"
@@ -58,6 +59,8 @@ func run() error {
 	curvLambda := flag.Float64("curvature", 0, "curvature penalty weight")
 	polygons := flag.Bool("polygons", false, "write the mask layout as traced polygons instead of fractured rectangles")
 	trace := flag.String("trace", "", "write per-iteration JSONL trace events to this file")
+	histSpans := flag.String("hist-spans", "litho.adjoint,litho.fft_forward",
+		"comma-separated span phases that also record per-call latency histograms (empty disables)")
 	progress := flag.Bool("progress", false, "print live per-stage/per-iteration progress to stderr")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	manifestPath := flag.String("manifest", "", "run-manifest path (default <out>_manifest.json when -out is set)")
@@ -86,6 +89,9 @@ func run() error {
 		}
 		if *progress {
 			topts = append(topts, telemetry.WithConsole(os.Stderr))
+		}
+		if *histSpans != "" {
+			topts = append(topts, telemetry.WithSpanHistograms(strings.Split(*histSpans, ",")...))
 		}
 		rec = telemetry.New(topts...)
 		defer rec.Close()

@@ -33,6 +33,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -194,6 +195,30 @@ func runSmoke(srv *server.Server) error {
 		return fmt.Errorf("metrics jobs_by_state %v, want one done", m.Jobs)
 	}
 
+	// 5b. Prometheus scrape: the same endpoint under content negotiation must
+	// expose the counter, gauge, and histogram series a scraper depends on.
+	prom, err := scrapePrometheus(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("prometheus scrape: %w", err)
+	}
+	for _, want := range []string{
+		"ilt_server_jobs_submitted_total 1",
+		`ilt_jobs{state="done"} 1`,
+		`ilt_server_queue_wait_seconds_bucket{le="+Inf"} 1`,
+		`ilt_server_run_seconds_bucket{le="+Inf"} 1`,
+		"ilt_server_sse_flush_seconds_count",
+		`ilt_core_iter_seconds_bucket{le="+Inf"}`,
+		`ilt_phase_seconds_total{phase="litho.socs"}`,
+		"ilt_goroutines",
+		"ilt_heap_inuse_bytes",
+		"ilt_gc_pause_seconds_total",
+	} {
+		if !strings.Contains(prom, want) {
+			return fmt.Errorf("prometheus exposition missing %q:\n%s", want, prom)
+		}
+	}
+	fmt.Printf("smoke: prometheus exposition ok (%d bytes)\n", len(prom))
+
 	// 6. drain
 	dctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
@@ -239,6 +264,29 @@ func streamEvents(base, id string) (map[string]int, error) {
 		counts[name]++
 	}
 	return nil, fmt.Errorf("stream ended without an end frame (after %v, err %v)", counts, sc.Err())
+}
+
+// scrapePrometheus fetches url the way a Prometheus scraper would (Accept:
+// text/plain) and returns the exposition body.
+func scrapePrometheus(url string) (string, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		return "", fmt.Errorf("content-type %q, want text/plain; version=0.0.4", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
 }
 
 func getJSON(url string, v any) error {

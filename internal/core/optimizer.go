@@ -310,6 +310,9 @@ func (o *Optimizer) runStage(ctx context.Context, mp *grid.Mat, st Stage, stageI
 	})
 	stageStart := time.Now()
 	itersRun := 0
+	// Resolved once per stage: Observe in the loop is then lock- and
+	// allocation-free (and a nil no-op when telemetry is off).
+	hIter := rec.Histogram("core.iter", telemetry.HistDuration)
 
 	for it := 0; it < st.Iters; it++ {
 		if err := ctx.Err(); err != nil {
@@ -342,11 +345,13 @@ func (o *Optimizer) runStage(ctx context.Context, mp *grid.Mat, st Stage, stageI
 			mp.AddScaled(-o.opts.LearningRate, g)
 		}
 
+		iterDur := time.Since(iterStart)
+		hIter.ObserveDuration(iterDur)
 		record := IterRecord{
 			Stage: stageIdx, Iter: it, Loss: terms,
 			Scale: st.Scale, HighRes: st.HighRes,
 			Step: step, Retries: retries,
-			Seconds: time.Since(iterStart).Seconds(),
+			Seconds: iterDur.Seconds(),
 		}
 		res.History = append(res.History, record)
 		res.Iterations++

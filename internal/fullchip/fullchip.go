@@ -190,6 +190,9 @@ func Optimize(opt Options, target *grid.Mat) (*Result, error) {
 	})
 	res.WallSeconds = time.Since(start).Seconds()
 
+	// Per-tile latency distribution, fed during the deterministic row-major
+	// fold (nil recorder → nil histogram → no-op).
+	hTile := opt.Recorder.Histogram("fullchip.tile", telemetry.HistDuration)
 	for idx, oc := range outcomes {
 		if oc.err != nil {
 			return nil, oc.err
@@ -198,6 +201,7 @@ func Optimize(opt Options, target *grid.Mat) (*Result, error) {
 			res.TilesRun++
 			res.ILTSeconds += oc.seconds
 			res.TileSeconds[idx] = oc.seconds
+			hTile.ObserveDuration(time.Duration(oc.seconds * float64(time.Second)))
 		}
 		if opt.Recorder.Enabled() {
 			opt.Recorder.Emit("tile", telemetry.Fields{

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fft"
 	"repro/internal/grid"
@@ -108,10 +109,22 @@ func (s *Sim) Plan(m int) (*fft.Plan2, error) {
 	if cache == nil {
 		cache = &s.ownPlans
 	}
+	var t0 time.Time
+	if s.Recorder.Enabled() {
+		t0 = time.Now()
+	}
 	plan, built, err := cache.Get(m)
 	if built {
 		s.planBuilds.Add(1)
 		s.Recorder.Add("litho.plan_builds", 1)
+		if !t0.IsZero() {
+			// Time spent waiting on the singleflight build, as seen by this
+			// requester (losers of the race observe their wait, which is the
+			// latency the caller actually paid).
+			s.Recorder.Histogram("fft.plan_build", telemetry.HistDuration).ObserveDuration(time.Since(t0))
+		}
+	} else if err == nil {
+		s.Recorder.Add("litho.plan_hits", 1)
 	}
 	return plan, err
 }

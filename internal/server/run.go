@@ -119,6 +119,14 @@ func (j *Job) Cancel() bool {
 // Done exposes the completion channel (closed on any terminal state).
 func (j *Job) Done() <-chan struct{} { return j.done }
 
+// startedAt returns when the executor picked the job up (zero if it never
+// ran).
+func (j *Job) startedAt() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.started
+}
+
 // markRunning moves queued → running; returns false if the job was
 // canceled while waiting in the queue.
 func (j *Job) markRunning() bool {

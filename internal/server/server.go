@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -57,6 +58,12 @@ type Server struct {
 	plans  fft.PlanCache
 	queue  *jobQueue
 
+	// Server-level latency distributions, resolved once at New so the
+	// executor/SSE paths observe without registry lookups.
+	histQueueWait *telemetry.Histogram
+	histRun       *telemetry.Histogram
+	histSSEFlush  *telemetry.Histogram
+
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	nextID int64
@@ -88,6 +95,10 @@ func New(cfg Config) *Server {
 		rec:   rec,
 		queue: newJobQueue(cfg.QueueCap),
 		jobs:  map[string]*Job{},
+
+		histQueueWait: rec.Histogram("server.queue_wait", telemetry.HistDuration),
+		histRun:       rec.Histogram("server.run", telemetry.HistDuration),
+		histSSEFlush:  rec.Histogram("server.sse_flush", telemetry.HistDuration),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -272,6 +283,7 @@ func (s *Server) executor() {
 		if !j.markRunning() {
 			continue // canceled while queued
 		}
+		s.histQueueWait.ObserveDuration(time.Since(j.created))
 		s.runJob(j)
 	}
 }
@@ -360,9 +372,15 @@ func (s *Server) runJob(j *Job) {
 }
 
 // finishJob closes the job's recorder (flushing the phases event into the
-// SSE log), records the terminal state and bumps the server counters.
+// SSE log), folds the job's aggregates into the server recorder so /metrics
+// reports cross-job phase totals and latency distributions, records the
+// terminal state and bumps the server counters.
 func (s *Server) finishJob(j *Job, state JobState, errMsg string, res *JobResult, m *grid.Mat) {
 	_ = j.rec.Close() // sinks are in-memory; Close cannot fail, but errcheck keeps us honest
+	s.rec.Merge(j.rec)
+	if started := j.startedAt(); !started.IsZero() {
+		s.histRun.ObserveDuration(time.Since(started))
+	}
 	j.finish(state, errMsg, res, m)
 	switch state {
 	case StateDone:
@@ -479,11 +497,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	sent := 0
 	for {
 		lines, names, done, changed := j.events.wait(sent)
+		flushStart := time.Now()
 		for i, b := range lines {
 			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", sent+i+1, names[i], b)
 		}
 		sent += len(lines)
 		fl.Flush()
+		if len(lines) > 0 { // empty wakeups would only measure the latch
+			s.histSSEFlush.ObserveDuration(time.Since(flushStart))
+		}
 		if done {
 			fmt.Fprint(w, "event: end\ndata: {}\n\n")
 			fl.Flush()
@@ -513,36 +535,79 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // metricsJSON is the GET /metrics document: the server recorder snapshot
-// (the same data the "ilt" expvar exports) plus queue gauges.
+// (the same data the "ilt" expvar exports) plus queue and runtime gauges.
 type metricsJSON struct {
-	ElapsedSec   float64               `json:"elapsed_sec"`
-	QueueDepth   int                   `json:"queue_depth"`
-	QueueHigh    int                   `json:"queue_interactive"`
-	Jobs         map[string]int        `json:"jobs_by_state"`
-	CachedModels int                   `json:"cached_models"`
-	CachedPlans  int                   `json:"cached_fft_plans"`
-	Counters     map[string]int64      `json:"counters"`
-	Phases       []telemetry.PhaseStat `json:"phases,omitempty"`
+	ElapsedSec   float64                `json:"elapsed_sec"`
+	QueueDepth   int                    `json:"queue_depth"`
+	QueueHigh    int                    `json:"queue_interactive"`
+	Jobs         map[string]int         `json:"jobs_by_state"`
+	CachedModels int                    `json:"cached_models"`
+	CachedPlans  int                    `json:"cached_fft_plans"`
+	Counters     map[string]int64       `json:"counters"`
+	Phases       []telemetry.PhaseStat  `json:"phases,omitempty"`
+	Histograms   []telemetry.HistStat   `json:"histograms,omitempty"`
+	Runtime      telemetry.RuntimeStats `json:"runtime"`
 }
 
+// handleMetrics negotiates on the Accept header: Prometheus scrapers (which
+// send text/plain or application/openmetrics-text) get the text exposition;
+// everything else — including header-less curl and the existing tests —
+// keeps the JSON document.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if accept := r.Header.Get("Accept"); strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text") {
+		s.writePrometheusMetrics(w)
+		return
+	}
 	qi, qb := s.queue.depth()
+	writeJSON(w, http.StatusOK, metricsJSON{
+		ElapsedSec:   s.rec.Elapsed(),
+		QueueDepth:   qi + qb,
+		QueueHigh:    qi,
+		Jobs:         s.jobsByState(),
+		CachedModels: s.models.size(),
+		CachedPlans:  s.plans.Sizes(),
+		Counters:     s.rec.Counters(),
+		Phases:       s.rec.Phases(),
+		Histograms:   s.rec.Histograms(),
+		Runtime:      telemetry.ReadRuntime(),
+	})
+}
+
+func (s *Server) jobsByState() map[string]int {
 	byState := map[string]int{}
 	s.mu.Lock()
 	for _, j := range s.jobs {
 		byState[string(j.State())]++
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, metricsJSON{
-		ElapsedSec:   s.rec.Elapsed(),
-		QueueDepth:   qi + qb,
-		QueueHigh:    qi,
-		Jobs:         byState,
-		CachedModels: s.models.size(),
-		CachedPlans:  s.plans.Sizes(),
-		Counters:     s.rec.Counters(),
-		Phases:       s.rec.Phases(),
-	})
+	return byState
+}
+
+// writePrometheusMetrics renders the text exposition: queue/cache/job
+// gauges, then the recorder's counters, phase totals and histogram series,
+// then the runtime block. The jobs gauge always emits all five lifecycle
+// states so the series set is stable from boot.
+func (s *Server) writePrometheusMetrics(w http.ResponseWriter) {
+	byState := s.jobsByState()
+	qi, qb := s.queue.depth()
+
+	var buf bytes.Buffer
+	telemetry.WriteGauge(&buf, "ilt_queue_depth", float64(qi+qb))
+	telemetry.WriteGauge(&buf, "ilt_queue_interactive", float64(qi))
+	telemetry.WriteGauge(&buf, "ilt_cached_models", float64(s.models.size()))
+	telemetry.WriteGauge(&buf, "ilt_cached_fft_plans", float64(s.plans.Sizes()))
+	telemetry.WriteGauge(&buf, "ilt_elapsed_seconds", s.rec.Elapsed())
+	fmt.Fprint(&buf, "# TYPE ilt_jobs gauge\n")
+	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		fmt.Fprintf(&buf, "ilt_jobs{state=%q} %d\n", string(st), byState[string(st)])
+	}
+	s.rec.WritePrometheus(&buf)
+	telemetry.ReadRuntime().WritePrometheus(&buf)
+
+	w.Header().Set("Content-Type", telemetry.PrometheusContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes()) // a failed write is the client's disconnect
 }
 
 // --- helpers --------------------------------------------------------------

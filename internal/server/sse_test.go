@@ -101,7 +101,8 @@ func scrubTiming(v any) {
 	}
 	for k, val := range m {
 		switch k {
-		case "ts", "sec", "wall_sec", "ilt_sec":
+		case "ts", "sec", "wall_sec", "ilt_sec",
+			"sum", "p50", "p95", "p99": // histogram summaries are wall-clock-valued
 			m[k] = 0.0
 		default:
 			scrubTiming(val)

@@ -1,0 +1,316 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketIndex(t *testing.T) {
+	h := newHistogram("h", HistDuration)
+	inf := len(h.buckets) - 1
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0},
+		{1 << 10, 0},       // exactly the first upper bound
+		{1<<10 + 1, 1},     // just past it
+		{1 << 20, 10},      // exact power lands in its own bucket
+		{1<<20 + 1, 11},    //
+		{1 << 37, inf - 1}, // last finite bucket
+		{1<<37 + 1, inf},   // overflow
+		{math.MaxInt64, inf},
+	}
+	for _, c := range cases {
+		if got := h.bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every observation lands below or at its bucket's upper bound and
+	// above the lower bound (in raw units).
+	for _, v := range []int64{1, 999, 1 << 15, 3 << 20, 1 << 36} {
+		i := h.bucketIndex(v)
+		lo, hi := h.lowerBound(i)/h.scale(), h.upperBound(i)/h.scale()
+		if float64(v) > hi || (i > 0 && float64(v) <= lo) {
+			t.Errorf("v=%d landed in bucket %d (%g, %g]", v, i, lo, hi)
+		}
+	}
+}
+
+func TestHistogramStatAndQuantiles(t *testing.T) {
+	h := newHistogram("iter", HistDuration)
+	// 100 observations of 1ms, 10 of 100ms: p50 sits in the 1ms octave,
+	// p95 and p99 in the 100ms octave.
+	for i := 0; i < 100; i++ {
+		h.ObserveDuration(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.ObserveDuration(100 * time.Millisecond)
+	}
+	st := h.Stat()
+	if st.Count != 110 {
+		t.Fatalf("count = %d, want 110", st.Count)
+	}
+	wantSum := 100*0.001 + 10*0.1
+	if math.Abs(st.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %g, want %g", st.Sum, wantSum)
+	}
+	// 1ms falls in the (2^19, 2^20] ns octave ≈ (0.524ms, 1.049ms];
+	// 100ms in (2^26, 2^27] ns ≈ (67ms, 134ms].
+	if st.P50 < 0.0005 || st.P50 > 0.0011 {
+		t.Errorf("p50 = %g, want ≈ 1ms", st.P50)
+	}
+	if st.P95 < 0.067 || st.P95 > 0.135 {
+		t.Errorf("p95 = %g, want ≈ 100ms", st.P95)
+	}
+	if st.P99 < st.P95 {
+		t.Errorf("p99 %g < p95 %g", st.P99, st.P95)
+	}
+	if st.Unit != "seconds" {
+		t.Errorf("unit = %q", st.Unit)
+	}
+	// Buckets are cumulative, trimmed to the populated range, and end at
+	// the total count.
+	if len(st.Buckets) == 0 {
+		t.Fatal("no buckets in snapshot")
+	}
+	last := st.Buckets[len(st.Buckets)-1]
+	if last.Count != 110 {
+		t.Errorf("final cumulative count = %d, want 110", last.Count)
+	}
+	for i := 1; i < len(st.Buckets); i++ {
+		if st.Buckets[i].Count < st.Buckets[i-1].Count || st.Buckets[i].LE <= st.Buckets[i-1].LE {
+			t.Errorf("buckets not cumulative/increasing at %d: %+v", i, st.Buckets)
+		}
+	}
+}
+
+func TestHistogramEmptyAndNil(t *testing.T) {
+	var h *Histogram
+	h.Observe(5) // must not panic
+	if st := h.Stat(); st.Count != 0 || st.P99 != 0 {
+		t.Errorf("nil histogram stat = %+v", st)
+	}
+	empty := newHistogram("e", HistCount)
+	if st := empty.Stat(); st.Count != 0 || st.Sum != 0 || len(st.Buckets) != 0 {
+		t.Errorf("empty histogram stat = %+v", st)
+	}
+}
+
+func TestRecorderHistogramRegistry(t *testing.T) {
+	r := New(WithClock(newFakeClock().Now))
+	a := r.Histogram("x", HistDuration)
+	b := r.Histogram("x", HistDuration)
+	if a != b {
+		t.Fatal("same name returned distinct histograms")
+	}
+	r.Histogram("a", HistCount).Observe(3)
+	a.ObserveDuration(time.Millisecond)
+	hs := r.Histograms()
+	if len(hs) != 2 || hs[0].Name != "a" || hs[1].Name != "x" {
+		t.Fatalf("Histograms() = %+v, want [a x]", hs)
+	}
+	if hs[0].Unit != "count" || hs[0].Sum != 3 {
+		t.Errorf("count histogram snapshot = %+v", hs[0])
+	}
+
+	var nilRec *Recorder
+	if nilRec.Histogram("x", HistDuration) != nil {
+		t.Error("nil recorder returned a live histogram")
+	}
+	if nilRec.Histograms() != nil {
+		t.Error("nil recorder returned snapshots")
+	}
+}
+
+func TestSpanHistogramOptIn(t *testing.T) {
+	clk := newFakeClock()
+	r := New(WithClock(clk.Now), WithSpanHistograms("hot"))
+	for i := 0; i < 3; i++ {
+		sp := r.StartSpan("hot")
+		clk.Advance(2 * time.Millisecond)
+		sp.End()
+		sp = r.StartSpan("cold")
+		clk.Advance(5 * time.Millisecond)
+		sp.End()
+	}
+	hs := r.Histograms()
+	if len(hs) != 1 || hs[0].Name != "hot" {
+		t.Fatalf("Histograms() = %+v, want only the opted-in phase", hs)
+	}
+	if hs[0].Count != 3 || math.Abs(hs[0].Sum-0.006) > 1e-9 {
+		t.Errorf("hot histogram = %+v, want 3 observations summing 6ms", hs[0])
+	}
+	// Phase totals accumulate for both phases regardless of opt-in.
+	ph := r.Phases()
+	if len(ph) != 2 {
+		t.Fatalf("phases = %+v", ph)
+	}
+}
+
+func TestCloseEmitsHistogramSummaries(t *testing.T) {
+	clk := newFakeClock()
+	cap := &captureSink{}
+	r := New(WithClock(clk.Now), WithSink(cap))
+	r.Histogram("core.iter", HistDuration).ObserveDuration(8 * time.Millisecond)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	last := cap.events[len(cap.events)-1]
+	if last.Name != "phases" {
+		t.Fatalf("last event %q, want phases", last.Name)
+	}
+	hf, ok := last.Fields["histograms"].(Fields)
+	if !ok {
+		t.Fatalf("phases event has no histograms field: %v", last.Fields)
+	}
+	m, ok := hf["core.iter"].(map[string]any)
+	if !ok || m["count"].(int64) != 1 {
+		t.Fatalf("core.iter summary = %v", hf["core.iter"])
+	}
+	for _, k := range []string{"sum", "p50", "p95", "p99"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("summary missing %q: %v", k, m)
+		}
+	}
+
+	// Without histograms the phases event must not grow the field (the
+	// golden JSONL test depends on the exact bytes).
+	cap2 := &captureSink{}
+	r2 := New(WithClock(clk.Now), WithSink(cap2))
+	r2.StartSpan("p").End()
+	if err := r2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	last2 := cap2.events[len(cap2.events)-1]
+	if _, ok := last2.Fields["histograms"]; ok {
+		t.Error("histogram-free recorder emitted a histograms field")
+	}
+}
+
+func TestRecorderMerge(t *testing.T) {
+	clk := newFakeClock()
+	src := New(WithClock(clk.Now), WithSpanHistograms("litho.adjoint"))
+	sp := src.StartSpan("litho.adjoint")
+	clk.Advance(3 * time.Millisecond)
+	sp.End()
+	src.Add("litho.forward_sims", 7)
+	src.Histogram("core.iter", HistDuration).ObserveDuration(10 * time.Millisecond)
+
+	dst := New(WithClock(clk.Now))
+	dst.Add("litho.forward_sims", 1)
+	dst.Histogram("core.iter", HistDuration).ObserveDuration(20 * time.Millisecond)
+	dst.Merge(src)
+	dst.Merge(nil) // no-op
+	var nilRec *Recorder
+	nilRec.Merge(src) // no-op
+
+	if c := dst.Counters()["litho.forward_sims"]; c != 8 {
+		t.Errorf("merged counter = %d, want 8", c)
+	}
+	ph := dst.Phases()
+	if len(ph) != 1 || ph[0].Name != "litho.adjoint" || ph[0].Count != 1 ||
+		math.Abs(ph[0].Seconds-0.003) > 1e-9 {
+		t.Errorf("merged phases = %+v", ph)
+	}
+	hs := dst.Histograms()
+	var iter HistStat
+	for _, h := range hs {
+		if h.Name == "core.iter" {
+			iter = h
+		}
+	}
+	if iter.Count != 2 || math.Abs(iter.Sum-0.030) > 1e-9 {
+		t.Errorf("merged core.iter = %+v, want 2 observations summing 30ms", iter)
+	}
+	// The span histogram travels with the merge under its phase name.
+	found := false
+	for _, h := range hs {
+		if h.Name == "litho.adjoint" && h.Count == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("merged histograms missing litho.adjoint: %+v", hs)
+	}
+}
+
+// TestHistogramObserveZeroAlloc is the hot-path contract: Observe allocates
+// nothing on a live histogram, a nil histogram, and the full disabled-
+// recorder resolution path — the same discipline the spans tests enforce.
+func TestHistogramObserveZeroAlloc(t *testing.T) {
+	live := New(WithClock(newFakeClock().Now)).Histogram("h", HistDuration)
+	if n := testing.AllocsPerRun(1000, func() { live.Observe(123456) }); n != 0 {
+		t.Errorf("live Observe allocates %v/op, want 0", n)
+	}
+	var nilHist *Histogram
+	if n := testing.AllocsPerRun(1000, func() { nilHist.Observe(123456) }); n != 0 {
+		t.Errorf("nil Observe allocates %v/op, want 0", n)
+	}
+	var nilRec *Recorder
+	if n := testing.AllocsPerRun(1000, func() {
+		nilRec.Histogram("h", HistDuration).Observe(123456)
+	}); n != 0 {
+		t.Errorf("disabled recorder histogram path allocates %v/op, want 0", n)
+	}
+}
+
+func TestManifestCarriesHistograms(t *testing.T) {
+	dir := t.TempDir()
+	r := New(WithClock(newFakeClock().Now))
+	r.Histogram("core.iter", HistDuration).ObserveDuration(time.Millisecond)
+	m := NewManifest("test", nil)
+	m.Finish(r)
+	path := dir + "/manifest.json"
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Histograms) != 1 || back.Histograms[0].Name != "core.iter" ||
+		back.Histograms[0].Count != 1 {
+		t.Fatalf("round-tripped histograms = %+v", back.Histograms)
+	}
+	if !strings.Contains(back.Histograms[0].Unit, "seconds") {
+		t.Errorf("unit = %q", back.Histograms[0].Unit)
+	}
+}
+
+// BenchmarkSpanEnd vs BenchmarkSpanEndWithHistogram: the opt-in must stay
+// within noise of the spans-only baseline (one extra bounded atomic add).
+func BenchmarkSpanEnd(b *testing.B) {
+	r := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.StartSpan("p").End()
+	}
+}
+
+func BenchmarkSpanEndWithHistogram(b *testing.B) {
+	r := New(WithSpanHistograms("p"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.StartSpan("p").End()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := New().Histogram("h", HistDuration)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i)<<10 + 1)
+	}
+}
+
+func BenchmarkHistogramObserveDisabled(b *testing.B) {
+	var r *Recorder
+	h := r.Histogram("h", HistDuration)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

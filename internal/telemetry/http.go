@@ -22,6 +22,7 @@ type snapshot struct {
 	ElapsedSec float64          `json:"elapsed_sec"`
 	Phases     []PhaseStat      `json:"phases"`
 	Counters   map[string]int64 `json:"counters"`
+	Histograms []HistStat       `json:"histograms,omitempty"`
 }
 
 // AttachDebug registers the debug endpoints — /debug/vars (expvar, with
@@ -39,6 +40,7 @@ func AttachDebug(mux *http.ServeMux, r *Recorder) {
 				ElapsedSec: rec.Elapsed(),
 				Phases:     rec.Phases(),
 				Counters:   rec.Counters(),
+				Histograms: rec.Histograms(),
 			}
 		}))
 	})

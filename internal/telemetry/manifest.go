@@ -28,6 +28,7 @@ type Manifest struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 	Phases      []PhaseStat        `json:"phases,omitempty"`
 	Counters    map[string]int64   `json:"counters,omitempty"`
+	Histograms  []HistStat         `json:"histograms,omitempty"`
 }
 
 // NewManifest starts a manifest for the named tool: host and git metadata
@@ -65,6 +66,7 @@ func (m *Manifest) Finish(r *Recorder) {
 	if c := r.Counters(); len(c) > 0 {
 		m.Counters = c
 	}
+	m.Histograms = r.Histograms()
 }
 
 // Write serializes the manifest (indented JSON, trailing newline) to path.

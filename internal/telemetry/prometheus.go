@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type of the text exposition format
+// this package hand-rolls (no client library dependency).
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the recorder's aggregates in the Prometheus text
+// exposition format 0.0.4:
+//
+//   - counters as ilt_<name>_total
+//   - phase timers as ilt_phase_seconds_total / ilt_phase_calls_total with
+//     a phase="<name>" label
+//   - histograms as <family>_bucket{le="..."} / _sum / _count, where the
+//     family is ilt_<name>_seconds for durations and ilt_<name> for counts
+//
+// Label cardinality stays bounded by construction: the only labels are
+// "le" (fixed bucket geometry) and "phase" (the fixed phase vocabulary of
+// the instrumented code); nothing per-job or per-request ever becomes a
+// label. Output order is deterministic (names sorted). Nil-safe.
+func (r *Recorder) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	counters := r.Counters()
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fam := promName(name) + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", fam, fam, counters[name])
+	}
+
+	if phases := r.Phases(); len(phases) > 0 {
+		fmt.Fprint(w, "# TYPE ilt_phase_seconds_total counter\n")
+		for _, p := range phases {
+			fmt.Fprintf(w, "ilt_phase_seconds_total{phase=%q} %s\n", p.Name, promFloat(p.Seconds))
+		}
+		fmt.Fprint(w, "# TYPE ilt_phase_calls_total counter\n")
+		for _, p := range phases {
+			fmt.Fprintf(w, "ilt_phase_calls_total{phase=%q} %d\n", p.Name, p.Count)
+		}
+	}
+
+	var hists []*Histogram
+	r.hists.Range(func(_, v any) bool {
+		hists = append(hists, v.(*Histogram))
+		return true
+	})
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+	for _, h := range hists {
+		h.writePrometheus(w)
+	}
+}
+
+// writePrometheus renders one histogram family with the full fixed bucket
+// set (stable series across scrapes, which Prometheus rate math relies on).
+func (h *Histogram) writePrometheus(w io.Writer) {
+	fam := promName(h.name)
+	if h.kind == HistDuration {
+		fam += "_seconds"
+	}
+	fmt.Fprintf(w, "# TYPE %s histogram\n", fam)
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", fam, promLE(h.upperBound(i)), cum)
+	}
+	fmt.Fprintf(w, "%s_sum %s\n", fam, promFloat(float64(h.sum.Load())*h.scale()))
+	fmt.Fprintf(w, "%s_count %d\n", fam, h.count.Load())
+}
+
+// RuntimeStats is the runtime-gauge block exported by /metrics (JSON and
+// Prometheus) so dashboards can correlate ILT latency with scheduler and
+// GC pressure.
+type RuntimeStats struct {
+	Goroutines      int     `json:"goroutines"`
+	HeapInuseBytes  uint64  `json:"heap_inuse_bytes"`
+	HeapAllocBytes  uint64  `json:"heap_alloc_bytes"`
+	GCPauseTotalSec float64 `json:"gc_pause_total_sec"`
+	NumGC           uint32  `json:"num_gc"`
+}
+
+// ReadRuntime samples the runtime gauges. runtime.ReadMemStats costs a
+// brief stop-the-world; scrape-rate (not hot-path) use only.
+func ReadRuntime() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeStats{
+		Goroutines:      runtime.NumGoroutine(),
+		HeapInuseBytes:  ms.HeapInuse,
+		HeapAllocBytes:  ms.HeapAlloc,
+		GCPauseTotalSec: float64(ms.PauseTotalNs) * 1e-9,
+		NumGC:           ms.NumGC,
+	}
+}
+
+// WritePrometheus renders the runtime block: point-in-time values as
+// gauges, monotonic totals as counters.
+func (s RuntimeStats) WritePrometheus(w io.Writer) {
+	WriteGauge(w, "ilt_goroutines", float64(s.Goroutines))
+	WriteGauge(w, "ilt_heap_inuse_bytes", float64(s.HeapInuseBytes))
+	WriteGauge(w, "ilt_heap_alloc_bytes", float64(s.HeapAllocBytes))
+	fmt.Fprintf(w, "# TYPE ilt_gc_pause_seconds_total counter\nilt_gc_pause_seconds_total %s\n",
+		promFloat(s.GCPauseTotalSec))
+	fmt.Fprintf(w, "# TYPE ilt_gc_cycles_total counter\nilt_gc_cycles_total %d\n", s.NumGC)
+}
+
+// WriteGauge writes one unlabeled gauge sample in the text format.
+func WriteGauge(w io.Writer, name string, v float64) {
+	fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(v))
+}
+
+// promName maps a recorder name ("litho.plan_builds") to a metric name
+// ("ilt_litho_plan_builds"): the ilt_ namespace prefix plus every
+// non-[a-zA-Z0-9_] byte replaced by '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 4)
+	b.WriteString("ilt_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLE formats a bucket upper bound ("+Inf" for the overflow bucket).
+func promLE(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return promFloat(v)
+}
+
+// promFloat is the shortest round-trip decimal rendering ('g', like
+// expvar), deterministic for the fixed bucket bounds.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

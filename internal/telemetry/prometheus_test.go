@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePrometheusExposition(t *testing.T) {
+	clk := newFakeClock()
+	r := New(WithClock(clk.Now), WithSpanHistograms("litho.adjoint"))
+	r.Add("server.jobs_submitted", 3)
+	r.Add("litho.plan_builds", 2)
+	sp := r.StartSpan("litho.adjoint")
+	clk.Advance(4 * time.Millisecond)
+	sp.End()
+	r.Histogram("core.iter", HistDuration).ObserveDuration(2 * time.Millisecond)
+	r.Histogram("queue.batch", HistCount).Observe(5)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+
+	for _, want := range []string{
+		// counters: sorted, ilt_ namespace, _total suffix, dots sanitized
+		"# TYPE ilt_litho_plan_builds_total counter\nilt_litho_plan_builds_total 2\n",
+		"# TYPE ilt_server_jobs_submitted_total counter\nilt_server_jobs_submitted_total 3\n",
+		// phase families with the phase label
+		`ilt_phase_seconds_total{phase="litho.adjoint"} 0.004`,
+		`ilt_phase_calls_total{phase="litho.adjoint"} 1`,
+		// duration histogram: seconds family, +Inf bucket, sum/count
+		"# TYPE ilt_core_iter_seconds histogram\n",
+		`ilt_core_iter_seconds_bucket{le="+Inf"} 1`,
+		"ilt_core_iter_seconds_sum 0.002",
+		"ilt_core_iter_seconds_count 1",
+		// the opted-in span phase exports as its own histogram family
+		`ilt_litho_adjoint_seconds_bucket{le="+Inf"} 1`,
+		// count histogram: no unit suffix
+		`ilt_queue_batch_bucket{le="+Inf"} 1`,
+		"ilt_queue_batch_sum 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+
+	// The 2ms observation must be counted in every bucket at or above its
+	// octave (cumulative semantics). 2ms = 2^21 ns → le=2^21ns ≈ 0.002097s.
+	if !strings.Contains(out, `ilt_core_iter_seconds_bucket{le="0.002097152"} 1`) {
+		t.Errorf("cumulative bucket for 2ms missing:\n%s", out)
+	}
+	if !strings.Contains(out, `ilt_core_iter_seconds_bucket{le="0.001048576"} 0`) {
+		t.Errorf("bucket below 2ms should be 0:\n%s", out)
+	}
+
+	// Determinism: a second render is byte-identical.
+	var buf2 bytes.Buffer
+	r.WritePrometheus(&buf2)
+	if buf.String() != buf2.String() {
+		t.Error("exposition is not deterministic across renders")
+	}
+
+	// Nil recorder renders nothing.
+	var nilRec *Recorder
+	var buf3 bytes.Buffer
+	nilRec.WritePrometheus(&buf3)
+	if buf3.Len() != 0 {
+		t.Errorf("nil recorder wrote %q", buf3.String())
+	}
+}
+
+func TestRuntimeStatsPrometheus(t *testing.T) {
+	s := ReadRuntime()
+	if s.Goroutines < 1 {
+		t.Errorf("goroutines = %d", s.Goroutines)
+	}
+	if s.HeapInuseBytes == 0 {
+		t.Error("heap in-use reads 0")
+	}
+	var buf bytes.Buffer
+	s.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE ilt_goroutines gauge\nilt_goroutines ",
+		"# TYPE ilt_heap_inuse_bytes gauge\n",
+		"# TYPE ilt_heap_alloc_bytes gauge\n",
+		"# TYPE ilt_gc_pause_seconds_total counter\n",
+		"# TYPE ilt_gc_cycles_total counter\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("runtime exposition missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"litho.plan_builds": "ilt_litho_plan_builds",
+		"server.sse-flush":  "ilt_server_sse_flush",
+		"a b/c":             "ilt_a_b_c",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

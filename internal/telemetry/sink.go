@@ -123,6 +123,17 @@ func (s *consoleSink) Emit(e Event) {
 			}
 			fmt.Fprintf(s.w, "  %-24s %9.3fs  ×%d\n", k, anyFlt(m["sec"]), anyNum(m["count"]))
 		}
+		if hf, ok := f["histograms"].(Fields); ok {
+			fmt.Fprintf(s.w, "[%7.2fs] latency histograms:\n", e.TS)
+			for _, k := range sortedKeys(hf) {
+				m, ok := hf[k].(map[string]any)
+				if !ok {
+					continue
+				}
+				fmt.Fprintf(s.w, "  %-24s p50 %.3gs  p95 %.3gs  p99 %.3gs  ×%d\n",
+					k, anyFlt(m["p50"]), anyFlt(m["p95"]), anyFlt(m["p99"]), anyNum(m["count"]))
+			}
+		}
 	}
 }
 

@@ -60,10 +60,14 @@ type Sink interface {
 	Flush() error
 }
 
-// phase is one named span accumulator.
+// phase is one named span accumulator. hist is non-nil only for phases the
+// recorder opted into per-call latency distributions (WithSpanHistograms);
+// it is resolved once when the phase is first seen, so non-opted phases pay
+// a single nil check per span end.
 type phase struct {
 	nanos atomic.Int64
 	count atomic.Int64
+	hist  *Histogram
 }
 
 // Recorder aggregates spans/counters and fans events out to sinks. Safe for
@@ -79,6 +83,11 @@ type Recorder struct {
 
 	phases   sync.Map // string → *phase
 	counters sync.Map // string → *atomic.Int64
+	hists    sync.Map // string → *Histogram
+
+	// spanHist names the phases whose spans also feed a latency histogram;
+	// read-only after New.
+	spanHist map[string]bool
 }
 
 // Option configures a Recorder.
@@ -93,6 +102,22 @@ func WithClock(now func() time.Time) Option {
 // WithSink attaches a sink; events are delivered in Seq order.
 func WithSink(s Sink) Option {
 	return func(r *Recorder) { r.sinks = append(r.sinks, s) }
+}
+
+// WithSpanHistograms opts the named phases into per-call latency
+// histograms: each span End for such a phase also lands one observation in
+// a duration histogram of the same name. Opt-in keeps the default span cost
+// at two atomic adds — the FFT phases run thousands of times per
+// optimization, and most runs only need their totals.
+func WithSpanHistograms(names ...string) Option {
+	return func(r *Recorder) {
+		if r.spanHist == nil {
+			r.spanHist = make(map[string]bool, len(names))
+		}
+		for _, n := range names {
+			r.spanHist[n] = true
+		}
+	}
 }
 
 // New builds an enabled recorder. With no sinks it still aggregates phases
@@ -135,13 +160,32 @@ func (sp Span) End() {
 }
 
 func (r *Recorder) addPhase(name string, d time.Duration) {
-	v, ok := r.phases.Load(name)
-	if !ok {
-		v, _ = r.phases.LoadOrStore(name, &phase{})
-	}
-	p := v.(*phase)
+	p := r.phase(name)
 	p.nanos.Add(int64(d))
 	p.count.Add(1)
+	p.hist.Observe(int64(d)) // nil unless the phase opted in
+}
+
+// mergePhase folds an already-aggregated (nanos, count) pair into a phase;
+// the per-call durations are gone, so no histogram observation is possible.
+func (r *Recorder) mergePhase(name string, nanos, count int64) {
+	p := r.phase(name)
+	p.nanos.Add(nanos)
+	p.count.Add(count)
+}
+
+// phase returns the named accumulator, creating (and, for opted-in names,
+// attaching the histogram to) it on first use.
+func (r *Recorder) phase(name string) *phase {
+	v, ok := r.phases.Load(name)
+	if !ok {
+		p := &phase{}
+		if r.spanHist[name] {
+			p.hist = r.Histogram(name, HistDuration)
+		}
+		v, _ = r.phases.LoadOrStore(name, p)
+	}
+	return v.(*phase)
 }
 
 // Add increments a named counter. No-op (and allocation-free) when disabled.
@@ -228,7 +272,9 @@ func (r *Recorder) Elapsed() float64 {
 }
 
 // Close flushes the aggregates — one "phases" event carrying every phase
-// ({sec, count} per name) and counter — and flushes all sinks. Safe on nil.
+// ({sec, count} per name), counter, and histogram summary (count/sum/
+// p50/p95/p99 per name, under "histograms", present only when histograms
+// were recorded) — and flushes all sinks. Safe on nil.
 func (r *Recorder) Close() error {
 	if r == nil {
 		return nil
@@ -243,6 +289,21 @@ func (r *Recorder) Close() error {
 			counters[k] = v
 		}
 		f["counters"] = counters
+	}
+	if hs := r.Histograms(); len(hs) > 0 {
+		// Stored as Fields, not map[string]any: the console sink's phase
+		// breakdown iterates map[string]any values only, so the summary maps
+		// stay out of the per-phase table (same trick as "counters"). The
+		// JSON encoding is identical either way. Bucket dumps stay out of
+		// the event — manifests and /metrics carry them.
+		hf := Fields{}
+		for _, h := range hs {
+			hf[h.Name] = map[string]any{
+				"count": h.Count, "sum": h.Sum,
+				"p50": h.P50, "p95": h.P95, "p99": h.P99,
+			}
+		}
+		f["histograms"] = hf
 	}
 	r.Emit("phases", f)
 	r.mu.Lock()

@@ -1,0 +1,134 @@
+package tracestat
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CompareRow is one phase's A/B verdict. The gate is the per-call mean, not
+// the total: a run that simply does more calls (longer budget, more stages)
+// is not a regression, a run whose calls got slower is.
+type CompareRow struct {
+	Phase     string
+	OldSec    float64
+	NewSec    float64
+	OldCalls  int64
+	NewCalls  int64
+	Delta     float64 // (newMean - oldMean) / oldMean; only when both sides exist
+	Status    string  // "ok" | "REGRESSED" | "new" | "gone"
+	Regressed bool
+}
+
+// CompareResult is the full A/B table plus the gate outcome.
+type CompareResult struct {
+	Threshold   float64
+	Rows        []CompareRow // sorted by phase name
+	Regressions int
+}
+
+// Compare builds the per-phase A/B table between two traces of the same
+// workload. A phase regresses when its per-call mean grew by at least
+// threshold (a ratio: 0.10 means +10%). Phases present on only one side
+// are reported but never gate — a new instrumentation point or a removed
+// phase is a code change, not a slowdown.
+func Compare(oldT, newT *Trace, threshold float64) *CompareResult {
+	res := &CompareResult{Threshold: threshold}
+	oldBy := map[string]PhaseRec{}
+	for _, p := range oldT.Phases {
+		oldBy[p.Name] = p
+	}
+	newBy := map[string]PhaseRec{}
+	for _, p := range newT.Phases {
+		newBy[p.Name] = p
+	}
+	names := map[string]bool{}
+	for n := range oldBy {
+		names[n] = true
+	}
+	for n := range newBy {
+		names[n] = true
+	}
+	for _, n := range sortedNames(names) {
+		o, haveOld := oldBy[n]
+		nw, haveNew := newBy[n]
+		row := CompareRow{Phase: n, OldSec: o.Sec, NewSec: nw.Sec, OldCalls: o.Count, NewCalls: nw.Count}
+		switch {
+		case !haveOld:
+			row.Status = "new"
+		case !haveNew:
+			row.Status = "gone"
+		default:
+			oldMean := mean(o.Sec, o.Count)
+			newMean := mean(nw.Sec, nw.Count)
+			if oldMean > 0 {
+				row.Delta = (newMean - oldMean) / oldMean
+			}
+			if oldMean > 0 && row.Delta >= threshold {
+				row.Status = "REGRESSED"
+				row.Regressed = true
+				res.Regressions++
+			} else {
+				row.Status = "ok"
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render writes the A/B table. Like the single-trace report it is
+// byte-deterministic.
+func (res *CompareResult) Render(w io.Writer, oldLabel, newLabel string) {
+	fmt.Fprintf(w, "trace compare: %s -> %s (threshold +%.1f%% per-call mean)\n",
+		oldLabel, newLabel, 100*res.Threshold)
+	fmt.Fprintf(w, "  %-24s %-11s %-11s %-9s %-9s %-9s %s\n",
+		"phase", "old_sec", "new_sec", "old_n", "new_n", "delta", "status")
+	for _, r := range res.Rows {
+		delta := "-"
+		if r.Status == "ok" || r.Status == "REGRESSED" {
+			delta = fmt.Sprintf("%+.1f%%", 100*r.Delta)
+		}
+		fmt.Fprintf(w, "  %-24s %-11.6f %-11.6f %-9d %-9d %-9s %s\n",
+			r.Phase, r.OldSec, r.NewSec, r.OldCalls, r.NewCalls, delta, r.Status)
+	}
+	if res.Regressions > 0 {
+		fmt.Fprintf(w, "  RESULT: %d phase(s) regressed\n", res.Regressions)
+	} else {
+		fmt.Fprintf(w, "  RESULT: no per-phase regressions\n")
+	}
+}
+
+// ParseThreshold accepts "10%" or a plain ratio like "0.1".
+func ParseThreshold(s string) (float64, error) {
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("threshold %q: %w", s, err)
+	}
+	if pct {
+		v /= 100
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("threshold %q is negative", s)
+	}
+	return v, nil
+}
+
+func mean(sec float64, calls int64) float64 {
+	if calls <= 0 {
+		return 0
+	}
+	return sec / float64(calls)
+}
+
+func sortedNames(set map[string]bool) []string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
