@@ -1,7 +1,7 @@
 GO ?= go
 BIN_DIR := bin
 
-.PHONY: all build test race trace-smoke trace-stat server-smoke server-race bench bench-workers bench-fft bench-compare vet lint bench-lint check
+.PHONY: all build test race trace-smoke trace-stat server-smoke server-race bench bench-workers bench-fft bench-fft-smoke bench-compare vet lint bench-lint check
 
 all: build test
 
@@ -113,23 +113,36 @@ bench-workers:
 		-workers 1,2,4,8 -json BENCH_WORKERS.json
 
 # FFT-engine sweep: times the exact forward simulation per FFT engine
-# (dense reference / pruned inverses / pruned + packed forward) at
-# workers=1 and records the band-pruning speedups in BENCH_FFT.json plus a
+# (dense reference / pruned inverses / pruned + packed forward / fused
+# batch) at workers=1 and records the speedups in BENCH_FFT.json plus a
 # benchstat-format sidecar BENCH_FFT.txt.
 bench-fft:
-	$(GO) run ./cmd/benchgen -fftsweep -sizes 256,512,1024 -field 2048 \
+	$(GO) run ./cmd/benchgen -fftsweep -sizes 256,512,1024,2048 -field 2048 \
 		-kernels 24 -reps 3 -json BENCH_FFT.json
+
+# CI smoke lane: a seconds-long sweep at tiny sizes that exercises every
+# engine (including the fused batch path) and gates against the committed
+# BENCH_FFT.smoke.json baseline via the bench-compare machinery. The 75%
+# threshold is deliberately loose — shared CI hosts are noisy — it exists
+# to catch a pruning/fusion path silently falling back to dense work (a
+# 2-10× slowdown), not single-digit drift.
+bench-fft-smoke:
+	$(GO) run ./cmd/benchgen -fftsweep -sizes 64,128 -field 2048 \
+		-kernels 8 -reps 2 -json BENCH_FFT.smoke.new.json
+	$(MAKE) bench-compare OLD=BENCH_FFT.smoke.json NEW=BENCH_FFT.smoke.new.json GATE=75
 
 # Diff two bench-fft runs: OLD is the checked-in trajectory artifact, NEW a
 # fresh run (make bench-fft with -json BENCH_FFT.new.json, or copy). Uses
 # benchstat on the .txt sidecars when it is installed (no module
-# dependency is added), and always prints the built-in JSON diff.
+# dependency is added), and always prints the built-in JSON diff. Set
+# GATE=<pct> to fail when any engine regressed by more than that percent.
 OLD ?= BENCH_FFT.json
 NEW ?= BENCH_FFT.new.json
+GATE ?= 0
 bench-compare:
 	@if command -v benchstat >/dev/null 2>&1; then \
 		benchstat $(OLD:.json=.txt) $(NEW:.json=.txt); \
 	else \
 		echo "benchstat not installed; using built-in diff"; \
 	fi
-	$(GO) run ./cmd/benchgen -compare -old $(OLD) -new $(NEW)
+	$(GO) run ./cmd/benchgen -compare -old $(OLD) -new $(NEW) -gate $(GATE)

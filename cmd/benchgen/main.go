@@ -47,6 +47,7 @@ func run() error {
 	compare := flag.Bool("compare", false, "diff two FFT-sweep JSON reports")
 	oldPath := flag.String("old", "BENCH_FFT.json", "baseline report (with -compare)")
 	newPath := flag.String("new", "BENCH_FFT.new.json", "candidate report (with -compare)")
+	gate := flag.Float64("gate", 0, "with -compare: fail if any engine regressed by more than this percent (0 disables)")
 	manifestPath := flag.String("manifest", "", "write a run manifest (suite config + host + git revision) to this path")
 	flag.Parse()
 
@@ -60,6 +61,9 @@ func run() error {
 			return err
 		}
 		fmt.Print(bench.CompareFFTSweeps(oldS, newS))
+		if *gate > 0 {
+			return bench.GateFFTSweeps(oldS, newS, *gate)
+		}
 		return nil
 	}
 
@@ -84,8 +88,8 @@ func run() error {
 			return err
 		}
 		for _, p := range s.Points {
-			fmt.Printf("m=%-5d reference %8.4fs  band-inverse %8.4fs (%.2fx)  band %8.4fs (%.2fx)\n",
-				p.M, p.ReferenceSec, p.BandInverseSec, p.BandInverseGain, p.BandSec, p.BandGain)
+			fmt.Printf("m=%-5d reference %8.4fs  band-inverse %8.4fs (%.2fx)  band %8.4fs (%.2fx)  batch %8.4fs (%.2fx)\n",
+				p.M, p.ReferenceSec, p.BandInverseSec, p.BandInverseGain, p.BandSec, p.BandGain, p.BatchedSec, p.BatchedGain)
 		}
 		fmt.Printf("→ %s + %s (%d kernels, P=%d, workers=%d)\n", *sweepJSON, txt, s.Kernels, s.P, s.Workers)
 		return nil

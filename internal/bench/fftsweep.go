@@ -27,8 +27,10 @@ type FFTPoint struct {
 	ReferenceSec    float64 `json:"reference_sec"`    // dense forward + dense inverses
 	BandInverseSec  float64 `json:"band_inverse_sec"` // dense forward + pruned inverses
 	BandSec         float64 `json:"band_sec"`         // packed forward + pruned inverses
+	BatchedSec      float64 `json:"batched_sec"`      // packed forward + fused batched inverse
 	BandInverseGain float64 `json:"band_inverse_speedup"`
 	BandGain        float64 `json:"band_speedup"`
+	BatchedGain     float64 `json:"batched_speedup"`
 }
 
 // FFTSweep is the serializable sweep report.
@@ -68,14 +70,14 @@ func RunFFTSweep(sizes []int, fieldNM float64, kernels, reps int) (*FFTSweep, er
 		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Host: telemetry.Host(),
 	}
-	engines := []litho.FFTEngine{litho.EngineReference, litho.EngineBandInverse, litho.EngineBand}
+	engines := []litho.FFTEngine{litho.EngineReference, litho.EngineBandInverse, litho.EngineBand, litho.EngineBatch}
 	for _, m := range sizes {
 		cs, err := M1Case(m, fieldNM, 1, PaperM1Areas[0], m1Params())
 		if err != nil {
 			return nil, err
 		}
 		mask := cs.Target
-		var secs [3]float64
+		var secs [4]float64
 		for i, e := range engines {
 			sim := litho.NewSim(model)
 			sim.Workers = 1
@@ -92,12 +94,15 @@ func RunFFTSweep(sizes []int, fieldNM float64, kernels, reps int) (*FFTSweep, er
 			}
 			secs[i] = time.Since(start).Seconds() / float64(reps)
 		}
-		pt := FFTPoint{M: m, ReferenceSec: secs[0], BandInverseSec: secs[1], BandSec: secs[2]}
+		pt := FFTPoint{M: m, ReferenceSec: secs[0], BandInverseSec: secs[1], BandSec: secs[2], BatchedSec: secs[3]}
 		if pt.BandInverseSec > 0 {
 			pt.BandInverseGain = pt.ReferenceSec / pt.BandInverseSec
 		}
 		if pt.BandSec > 0 {
 			pt.BandGain = pt.ReferenceSec / pt.BandSec
+		}
+		if pt.BatchedSec > 0 {
+			pt.BatchedGain = pt.ReferenceSec / pt.BatchedSec
 		}
 		sweep.Points = append(sweep.Points, pt)
 	}
@@ -127,6 +132,7 @@ func (s *FFTSweep) WriteBenchstat(path string) error {
 			{"reference", p.ReferenceSec},
 			{"band-inverse", p.BandInverseSec},
 			{"band", p.BandSec},
+			{"batch", p.BatchedSec},
 		} {
 			fmt.Fprintf(&b, "BenchmarkForward/m=%d/kernels=%d/engine=%s 1 %.0f ns/op\n",
 				p.M, s.Kernels, ec.name, ec.sec*1e9)
@@ -160,8 +166,47 @@ func CompareFFTSweeps(old, new *FFTSweep) string {
 		row("reference", op.ReferenceSec, np.ReferenceSec)
 		row("band-inverse", op.BandInverseSec, np.BandInverseSec)
 		row("band", op.BandSec, np.BandSec)
+		row("batch", op.BatchedSec, np.BatchedSec)
 	}
 	return b.String()
+}
+
+// GateFFTSweeps is the bench-compare regression gate: it fails when any
+// engine at any size shared by both reports slowed down by more than
+// maxRegressPct percent. Engines missing from the baseline (zero seconds,
+// e.g. batched columns predating PR 8) are skipped, so the gate stays
+// usable across trajectory-schema growth. The threshold should be generous
+// — single-rep timings on shared CI hosts are noisy — its job is catching
+// catastrophic regressions (a pruning or fusion path silently disabled),
+// not single-digit drift.
+func GateFFTSweeps(old, new *FFTSweep, maxRegressPct float64) error {
+	oldAt := map[int]FFTPoint{}
+	for _, p := range old.Points {
+		oldAt[p.M] = p
+	}
+	var fails []string
+	for _, np := range new.Points {
+		op, ok := oldAt[np.M]
+		if !ok {
+			continue
+		}
+		check := func(name string, o, n float64) {
+			if o <= 0 || n <= 0 {
+				return
+			}
+			if pct := (n/o - 1) * 100; pct > maxRegressPct {
+				fails = append(fails, fmt.Sprintf("m=%d %s %+.1f%% (%.4fs → %.4fs)", np.M, name, pct, o, n))
+			}
+		}
+		check("reference", op.ReferenceSec, np.ReferenceSec)
+		check("band-inverse", op.BandInverseSec, np.BandInverseSec)
+		check("band", op.BandSec, np.BandSec)
+		check("batch", op.BatchedSec, np.BatchedSec)
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("bench: regression gate (>%g%%) failed:\n  %s", maxRegressPct, strings.Join(fails, "\n  "))
+	}
+	return nil
 }
 
 // LoadFFTSweep reads a sweep report written by WriteJSON.

@@ -16,10 +16,10 @@ func TestRunFFTSweep(t *testing.T) {
 		t.Fatalf("sweep metadata incomplete: %+v", s)
 	}
 	for _, p := range s.Points {
-		if p.ReferenceSec <= 0 || p.BandInverseSec <= 0 || p.BandSec <= 0 {
+		if p.ReferenceSec <= 0 || p.BandInverseSec <= 0 || p.BandSec <= 0 || p.BatchedSec <= 0 {
 			t.Errorf("m=%d: non-positive timings %+v", p.M, p)
 		}
-		if p.BandInverseGain <= 0 || p.BandGain <= 0 {
+		if p.BandInverseGain <= 0 || p.BandGain <= 0 || p.BatchedGain <= 0 {
 			t.Errorf("m=%d: speedups not computed %+v", p.M, p)
 		}
 	}
@@ -47,8 +47,8 @@ func TestRunFFTSweep(t *testing.T) {
 	}
 	txt := string(raw)
 	// One benchmark line per (size, engine) pair, benchstat-parseable.
-	if got := strings.Count(txt, "BenchmarkForward/"); got != 6 {
-		t.Errorf("%d benchmark lines, want 6:\n%s", got, txt)
+	if got := strings.Count(txt, "BenchmarkForward/"); got != 8 {
+		t.Errorf("%d benchmark lines, want 8:\n%s", got, txt)
 	}
 	if !strings.Contains(txt, "engine=band ") || !strings.Contains(txt, "ns/op") {
 		t.Errorf("benchstat format missing fields:\n%s", txt)
@@ -57,5 +57,32 @@ func TestRunFFTSweep(t *testing.T) {
 	diff := CompareFFTSweeps(back, s)
 	if !strings.Contains(diff, "reference") || !strings.Contains(diff, "%") {
 		t.Errorf("compare table incomplete:\n%s", diff)
+	}
+}
+
+func TestGateFFTSweeps(t *testing.T) {
+	old := &FFTSweep{Points: []FFTPoint{
+		{M: 64, ReferenceSec: 1, BandInverseSec: 0.8, BandSec: 0.7, BatchedSec: 0.5},
+	}}
+	same := &FFTSweep{Points: old.Points}
+	if err := GateFFTSweeps(old, same, 25); err != nil {
+		t.Errorf("identical sweeps should pass the gate: %v", err)
+	}
+
+	slow := &FFTSweep{Points: []FFTPoint{
+		{M: 64, ReferenceSec: 1, BandInverseSec: 0.8, BandSec: 0.7, BatchedSec: 1.5},
+	}}
+	err := GateFFTSweeps(old, slow, 25)
+	if err == nil || !strings.Contains(err.Error(), "batch") {
+		t.Errorf("3x batch regression should fail the gate naming the engine, got %v", err)
+	}
+
+	// Engines absent from the baseline (zero seconds) are skipped, so the
+	// gate survives trajectory files predating a column family.
+	noBatch := &FFTSweep{Points: []FFTPoint{
+		{M: 64, ReferenceSec: 1, BandInverseSec: 0.8, BandSec: 0.7},
+	}}
+	if err := GateFFTSweeps(noBatch, slow, 25); err != nil {
+		t.Errorf("missing baseline column should be skipped: %v", err)
 	}
 }

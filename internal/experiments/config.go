@@ -33,6 +33,10 @@ type Config struct {
 	// 0 selects runtime.GOMAXPROCS(0). Results are bit-identical for every
 	// value (see DESIGN.md, "Concurrency model").
 	Workers int
+	// Engine selects the simulator's FFT engine by name ("batch", "band",
+	// "band-inverse", "reference"); empty keeps the default (batch). See
+	// litho.ParseEngine and DESIGN.md, "FFT engine v2".
+	Engine string
 	// WithBaselines also measures the reimplemented baselines (pixel ILT,
 	// attention ILT, level-set ILT), which dominate runtime.
 	WithBaselines bool
@@ -111,6 +115,11 @@ func (c Config) Process() (*litho.Process, error) {
 	p := litho.NewProcess(model)
 	p.Sim.Workers = c.Workers
 	p.Sim.Recorder = c.Recorder
+	eng, err := litho.ParseEngine(c.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	p.Sim.Engine = eng
 	if c.N/8 < model.Nominal.P {
 		// The s = 8 stages of the recipes need N/8 ≥ P.
 		return nil, fmt.Errorf("experiments: grid %d too small for kernel support %d at s=8 (raise N or shrink FieldNM)", c.N, model.Nominal.P)

@@ -145,20 +145,22 @@ type stageMask struct {
 
 // bandTable returns the skip table for a band of the given half-width, or
 // nil when the band covers the whole length (no pruning possible). Tables
-// are built once per (plan, half) and cached.
+// are built once per (length, half) and shared by every plan of that length
+// through the process-wide table set.
 func (p *Plan) bandTable(half int) *bandTable {
 	if half < 0 || 2*half+1 >= p.n {
 		return nil
 	}
-	if v, ok := p.bands.Load(half); ok {
+	if v, ok := p.tab.bands.Load(half); ok {
 		return v.(*bandTable)
 	}
 	bt := &bandTable{stages: make([]stageMask, p.logN)}
 	// Populated input positions after the bit-reversal permutation.
 	pos := make([]int, 0, 2*half+1)
 	for f := -half; f <= half; f++ {
-		pos = append(pos, int(p.rev[(f+p.n)%p.n]))
+		pos = append(pos, int(p.tab.rev[(f+p.n)%p.n]))
 	}
+	bytes := 0
 	for s := 1; s <= p.logN; s++ {
 		// Stage s butterflies stay within blocks of 2^s elements, so block
 		// b can be nonzero iff some populated input lies in [b·2^s, (b+1)·2^s).
@@ -175,26 +177,35 @@ func (p *Plan) bandTable(half int) *bandTable {
 			bt.stages[s-1] = stageMask{dense: true}
 		} else {
 			bt.stages[s-1] = stageMask{nz: nz}
+			bytes += blocks
 		}
 	}
-	v, _ := p.bands.LoadOrStore(half, bt)
+	v, loaded := p.tab.bands.LoadOrStore(half, bt)
+	if !loaded {
+		tableBytes.Add(int64(bytes))
+	}
 	return v.(*bandTable)
 }
 
-// inversePruned is Inverse for inputs that are exactly +0 outside the band
-// positions [0, half] ∪ [n-half, n-1] encoded in bt: butterfly blocks whose
-// inputs are all structural zeros are skipped. Bit-for-bit identical to
-// Inverse (the skipped butterflies would have recomputed the same +0s).
-// A nil bt falls back to the dense transform.
-func (p *Plan) inversePruned(x []complex128, bt *bandTable) {
+// inversePruned is the inverse transform for inputs that are exactly +0
+// outside the band positions [0, half] ∪ [n-half, n-1] encoded in bt:
+// butterfly blocks whose inputs are all structural zeros are skipped.
+// Bit-for-bit identical to the equivalent dense inverse (the skipped
+// butterflies would have recomputed the same +0s). A nil bt falls back to
+// the dense transform. normalize selects whether the 1/N factor is applied.
+func (p *Plan) inversePruned(x []complex128, bt *bandTable, normalize bool) {
 	if bt == nil {
-		p.Inverse(x)
+		if normalize {
+			p.Inverse(x)
+		} else {
+			p.InverseNoNorm(x)
+		}
 		return
 	}
 	if len(x) != p.n {
 		panic(fmt.Sprintf("fft: buffer length %d != plan length %d", len(x), p.n))
 	}
-	for i, r := range p.rev {
+	for i, r := range p.tab.rev {
 		if int32(i) < r {
 			x[i], x[r] = x[r], x[i]
 		}
@@ -202,7 +213,7 @@ func (p *Plan) inversePruned(x []complex128, bt *bandTable) {
 	for s := 1; s <= p.logN; s++ {
 		m := 1 << (s - 1) // half block
 		blk := m << 1
-		tw := p.twidI[p.stageAt[s] : p.stageAt[s]+m]
+		tw := p.tab.twidI[p.tab.stageAt[s] : p.tab.stageAt[s]+m]
 		sm := &bt.stages[s-1]
 		for k := 0; k < p.n; k += blk {
 			if !sm.dense && !sm.nz[k>>uint(s)] {
@@ -216,9 +227,11 @@ func (p *Plan) inversePruned(x []complex128, bt *bandTable) {
 			}
 		}
 	}
-	inv := complex(1/float64(p.n), 0)
-	for i := range x {
-		x[i] *= inv
+	if normalize {
+		inv := complex(1/float64(p.n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
 	}
 }
 
@@ -231,6 +244,16 @@ func (p *Plan) inversePruned(x []complex128, bt *bandTable) {
 // blocks whose inputs are all structural zeros. The result is bit-for-bit
 // identical to Inverse on a dense copy of the band.
 func (p *Plan2) InverseBand(dst, src *grid.CMat, band BandSpec) {
+	p.inverseBand(dst, src, band, true)
+}
+
+// InverseBandNoNorm is InverseBand without the 1/(W·H) normalisation — for
+// spectra whose scale was folded at multiply time (FoldInverseScale).
+func (p *Plan2) InverseBandNoNorm(dst, src *grid.CMat, band BandSpec) {
+	p.inverseBand(dst, src, band, false)
+}
+
+func (p *Plan2) inverseBand(dst, src *grid.CMat, band BandSpec, normalize bool) {
 	if src.W != p.w || src.H != p.h || dst.W != p.w || dst.H != p.h {
 		panic(fmt.Sprintf("fft: matrices %dx%d/%dx%d do not match plan %dx%d",
 			src.W, src.H, dst.W, dst.H, p.w, p.h))
@@ -241,7 +264,7 @@ func (p *Plan2) InverseBand(dst, src *grid.CMat, band BandSpec) {
 	}
 	if band.Covers(p.h) && band.Covers(p.w) {
 		copy(dst.Data, src.Data)
-		p.transform(dst, true)
+		p.transform(dst, true, normalize)
 		return
 	}
 	rowBT := p.rowP.bandTable(band.Half) // prune inside each populated row
@@ -254,12 +277,12 @@ func (p *Plan2) InverseBand(dst, src *grid.CMat, band BandSpec) {
 			y := band.Row(i, p.h)
 			row := dst.Data[y*p.w : (y+1)*p.w]
 			copy(row, src.Data[y*p.w:(y+1)*p.w])
-			p.rowP.inversePruned(row, rowBT)
+			p.rowP.inversePruned(row, rowBT, normalize)
 		}
 		bp := p.colBufs.Get().(*[]complex128)
 		buf := *bp
 		for x := 0; x < p.w; x++ {
-			p.inverseBandColumn(dst, buf, x, band, colBT)
+			p.inverseBandColumn(dst, buf, x, band, colBT, normalize)
 		}
 		p.colBufs.Put(bp)
 		return
@@ -269,11 +292,11 @@ func (p *Plan2) InverseBand(dst, src *grid.CMat, band BandSpec) {
 		y := band.Row(i, p.h)
 		row := dst.Data[y*p.w : (y+1)*p.w]
 		copy(row, src.Data[y*p.w:(y+1)*p.w])
-		p.rowP.inversePruned(row, rowBT)
+		p.rowP.inversePruned(row, rowBT, normalize)
 	})
 	grid.ParallelFor(workers, p.w, func(x int) {
 		bp := p.colBufs.Get().(*[]complex128)
-		p.inverseBandColumn(dst, *bp, x, band, colBT)
+		p.inverseBandColumn(dst, *bp, x, band, colBT, normalize)
 		p.colBufs.Put(bp)
 	})
 }
@@ -281,7 +304,7 @@ func (p *Plan2) InverseBand(dst, src *grid.CMat, band BandSpec) {
 // inverseBandColumn gathers column x's band rows from m (zero-filling the
 // structurally empty middle), runs the pruned column inverse and scatters
 // all h values back — fully initialising the column, whatever dst held.
-func (p *Plan2) inverseBandColumn(m *grid.CMat, buf []complex128, x int, band BandSpec, colBT *bandTable) {
+func (p *Plan2) inverseBandColumn(m *grid.CMat, buf []complex128, x int, band BandSpec, colBT *bandTable, normalize bool) {
 	for y := 0; y <= band.Half; y++ {
 		buf[y] = m.Data[y*p.w+x]
 	}
@@ -291,7 +314,7 @@ func (p *Plan2) inverseBandColumn(m *grid.CMat, buf []complex128, x int, band Ba
 	for y := p.h - band.Half; y < p.h; y++ {
 		buf[y] = m.Data[y*p.w+x]
 	}
-	p.colP.inversePruned(buf, colBT)
+	p.colP.inversePruned(buf, colBT, normalize)
 	for y := 0; y < p.h; y++ {
 		m.Data[y*p.w+x] = buf[y]
 	}
@@ -341,9 +364,9 @@ func (p *Plan2) ForwardReal(dst *grid.CMat, src *grid.Mat) {
 		p.rowP.Forward(row)
 	}
 	if workers <= 1 {
-		p.colPassSerial(dst, false)
+		p.colPassSerial(dst, false, false)
 	} else {
-		p.colPassParallel(dst, false, p.workersFor(p.w))
+		p.colPassParallel(dst, false, false, p.workersFor(p.w))
 	}
 }
 

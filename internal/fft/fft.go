@@ -11,27 +11,25 @@
 // Inverse(Forward(x)) == x. With this convention the aerial-image intensity
 // produced by the simulator is invariant under the multi-level resolution
 // changes of Algorithm 1 (see DESIGN.md, "Numerical scheme notes").
+//
+// Callers that fold the 1/N factor into an earlier per-element multiply
+// (see FoldInverseScale) use the NoNorm inverse variants, which skip the
+// normalisation pass entirely.
 package fft
 
 import (
 	"fmt"
-	"math"
-	"math/bits"
-	"sync"
 )
 
 // Plan holds the precomputed state for transforms of a fixed power-of-two
-// length: the bit-reversal permutation and per-stage twiddle factors.
-// A Plan is safe for concurrent use; all methods operate on caller-supplied
-// buffers.
+// length. The bit-reversal permutation, twiddle factors and band skip
+// tables live in a process-wide table set shared by every Plan of the same
+// length (see tables.go). A Plan is safe for concurrent use; all methods
+// operate on caller-supplied buffers.
 type Plan struct {
-	n       int
-	logN    int
-	rev     []int32
-	twidF   []complex128 // forward twiddles, all stages concatenated
-	twidI   []complex128 // inverse twiddles
-	stageAt []int        // offset of each stage's twiddles
-	bands   sync.Map     // int (band half-width) → *bandTable, see band.go
+	n    int
+	logN int
+	tab  *planTables
 }
 
 // NewPlan creates a plan for length-n transforms. n must be a power of two
@@ -40,49 +38,30 @@ func NewPlan(n int) (*Plan, error) {
 	if n < 1 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("fft: length %d is not a positive power of two", n)
 	}
-	p := &Plan{n: n, logN: bits.TrailingZeros(uint(n))}
-	p.rev = make([]int32, n)
-	shift := 64 - uint(p.logN)
-	for i := 0; i < n; i++ {
-		p.rev[i] = int32(bits.Reverse64(uint64(i)) >> shift)
-	}
-	// Stage s (s = 1..logN) uses half-block size m = 2^(s-1) twiddles
-	// w^j = exp(∓2πi·j/2^s), j = 0..m-1.
-	total := 0
-	p.stageAt = make([]int, p.logN+1)
-	for s := 1; s <= p.logN; s++ {
-		p.stageAt[s] = total
-		total += 1 << (s - 1)
-	}
-	p.twidF = make([]complex128, total)
-	p.twidI = make([]complex128, total)
-	for s := 1; s <= p.logN; s++ {
-		m := 1 << (s - 1)
-		base := p.stageAt[s]
-		for j := 0; j < m; j++ {
-			ang := -math.Pi * float64(j) / float64(m)
-			p.twidF[base+j] = complex(math.Cos(ang), math.Sin(ang))
-			p.twidI[base+j] = complex(math.Cos(ang), -math.Sin(ang))
-		}
-	}
-	return p, nil
+	tab := tablesFor(n)
+	return &Plan{n: n, logN: tab.logN, tab: tab}, nil
 }
 
 // N returns the transform length of the plan.
 func (p *Plan) N() int { return p.n }
 
 // Forward computes the in-place unnormalised DFT of x. len(x) must equal N.
-func (p *Plan) Forward(x []complex128) { p.transform(x, p.twidF, false) }
+func (p *Plan) Forward(x []complex128) { p.transform(x, p.tab.twidF, false) }
 
 // Inverse computes the in-place inverse DFT of x, including the 1/N factor.
-func (p *Plan) Inverse(x []complex128) { p.transform(x, p.twidI, true) }
+func (p *Plan) Inverse(x []complex128) { p.transform(x, p.tab.twidI, true) }
+
+// InverseNoNorm computes the in-place inverse DFT of x without the 1/N
+// factor — for callers that folded the normalisation into an earlier
+// multiply (FoldInverseScale).
+func (p *Plan) InverseNoNorm(x []complex128) { p.transform(x, p.tab.twidI, false) }
 
 func (p *Plan) transform(x []complex128, twid []complex128, normalize bool) {
 	if len(x) != p.n {
 		panic(fmt.Sprintf("fft: buffer length %d != plan length %d", len(x), p.n))
 	}
 	// Bit-reversal permutation.
-	for i, r := range p.rev {
+	for i, r := range p.tab.rev {
 		if int32(i) < r {
 			x[i], x[r] = x[r], x[i]
 		}
@@ -91,7 +70,7 @@ func (p *Plan) transform(x []complex128, twid []complex128, normalize bool) {
 	for s := 1; s <= p.logN; s++ {
 		m := 1 << (s - 1) // half block
 		blk := m << 1
-		tw := twid[p.stageAt[s] : p.stageAt[s]+m]
+		tw := twid[p.tab.stageAt[s] : p.tab.stageAt[s]+m]
 		for k := 0; k < p.n; k += blk {
 			for j := 0; j < m; j++ {
 				t := tw[j] * x[k+j+m]
@@ -107,4 +86,15 @@ func (p *Plan) transform(x []complex128, twid []complex128, normalize bool) {
 			x[i] *= inv
 		}
 	}
+}
+
+// FoldInverseScale folds the 1/(w·h) normalisation of a w×h inverse
+// transform into a frequency-domain scale factor: multiplying every
+// spectrum cell by the returned value and running the NoNorm inverse yields
+// the same result as scaling by `scale` and running the normalised inverse,
+// up to one rounding difference per cell. For powers of two the fold itself
+// is exact (1/(w·h) is a power of two), and every engine that folds uses
+// this one helper so the folded products agree bit-for-bit across engines.
+func FoldInverseScale(scale complex128, w, h int) complex128 {
+	return scale * complex(1/(float64(w)*float64(h)), 0)
 }

@@ -208,7 +208,7 @@ func TestEnginesDarkFrameExactZero(t *testing.T) {
 	mdl := model(t)
 	const n = 64
 	mask := grid.NewMat(n, n)
-	for _, e := range []FFTEngine{EngineBand, EngineBandInverse, EngineReference} {
+	for _, e := range []FFTEngine{EngineBatch, EngineBand, EngineBandInverse, EngineReference} {
 		sim := newEngineSim(t, e, 1)
 		f, err := sim.Forward(mask, mdl.Nominal, 1, false)
 		if err != nil {
@@ -219,6 +219,183 @@ func TestEnginesDarkFrameExactZero(t *testing.T) {
 				t.Fatalf("engine %d: dark frame pixel %d = %v, want +0", e, i, v)
 			}
 		}
+	}
+}
+
+// The batched engine's two-sided contract, at every worker count: bit
+// identity with EngineBand (each batch lane performs the band engine's
+// exact operation sequence; physical kernels are not exactly Hermitian, so
+// the conjugate-mirror gate stays closed), and rounding-level agreement
+// with EngineReference (inherited from the ForwardReal packing, the only
+// non-bit-exact substitution). Covers Forward (both keepAmps modes),
+// ForwardEq7 and Gradient; runs under -race in the race lane.
+func TestEngineBatchEquivalence(t *testing.T) {
+	mdl := model(t)
+	rng := rand.New(rand.NewSource(36))
+	const tol = 1e-10
+	for _, n := range []int{64, 128, 256} {
+		mask := randMask(rng, n)
+		dLdI := randMask(rng, n)
+		ref := newEngineSim(t, EngineReference, 1)
+		refF, err := ref.Forward(mask, mdl.Nominal, 1.02, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refG, err := ref.Gradient(refF, dLdI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refE7, err := ref.ForwardEq7(mask, 2, mdl.Nominal, 0.98)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, keep := range []bool{false, true} {
+			band := newEngineSim(t, EngineBand, 1)
+			wantF, err := band.Forward(mask, mdl.Nominal, 1.02, keep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantG, err := band.Gradient(wantF, dLdI)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantE7, err := band.ForwardEq7(mask, 2, mdl.Nominal, 0.98)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workerSweep() {
+				sim := newEngineSim(t, EngineBatch, w)
+				got, err := sim.Forward(mask, mdl.Nominal, 1.02, keep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Intensity.Equal(wantF.Intensity, 0) {
+					t.Errorf("n=%d workers=%d keep=%v: batched intensity differs from band engine", n, w, keep)
+				}
+				if !got.Intensity.Equal(refF.Intensity, tol) {
+					t.Errorf("n=%d workers=%d keep=%v: batched intensity outside reference tolerance", n, w, keep)
+				}
+				if keep {
+					for k := range wantF.Amps {
+						if got.Amps[k].MaxAbsDiff(wantF.Amps[k]) != 0 {
+							t.Errorf("n=%d workers=%d: batched amplitude %d differs from band engine", n, w, k)
+						}
+					}
+				}
+				g, err := sim.Gradient(got, dLdI)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !g.Equal(wantG, 0) {
+					t.Errorf("n=%d workers=%d keep=%v: batched gradient differs from band engine", n, w, keep)
+				}
+				if !g.Equal(refG, tol) {
+					t.Errorf("n=%d workers=%d keep=%v: batched gradient outside reference tolerance", n, w, keep)
+				}
+				e7, err := sim.ForwardEq7(mask, 2, mdl.Nominal, 0.98)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !e7.Intensity.Equal(wantE7.Intensity, 0) {
+					t.Errorf("n=%d workers=%d: batched Eq7 intensity differs from band engine", n, w)
+				}
+				if !e7.Intensity.Equal(refE7.Intensity, tol) {
+					t.Errorf("n=%d workers=%d: batched Eq7 intensity outside reference tolerance", n, w)
+				}
+			}
+		}
+	}
+}
+
+// The batched engine stays bit-identical across worker counts: the row
+// pass partitions kernels, the column pass partitions disjoint column
+// blocks, and every cross-kernel fold is ascending-k within a block.
+func TestEngineBatchDeterministicAcrossWorkers(t *testing.T) {
+	mdl := model(t)
+	rng := rand.New(rand.NewSource(37))
+	const n = 128
+	mask := randMask(rng, n)
+	dLdI := randMask(rng, n)
+	base := newEngineSim(t, EngineBatch, 1)
+	want, err := base.Forward(mask, mdl.Nominal, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantG, err := base.Gradient(want, dLdI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerSweep() {
+		sim := newEngineSim(t, EngineBatch, w)
+		got, err := sim.Forward(mask, mdl.Nominal, 1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Intensity.Equal(want.Intensity, 0) {
+			t.Errorf("workers=%d: batched engine not bit-identical to serial", w)
+		}
+		g, err := sim.Gradient(got, dLdI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Equal(wantG, 0) {
+			t.Errorf("workers=%d: batched gradient not bit-identical to serial", w)
+		}
+	}
+}
+
+// Engine string round trip, including the "" = default convention the
+// option plumbing (core.Options.Engine, server JobRequest.Engine) relies
+// on.
+func TestParseEngine(t *testing.T) {
+	for _, e := range []FFTEngine{EngineBatch, EngineBand, EngineBandInverse, EngineReference} {
+		got, err := ParseEngine(e.String())
+		if err != nil || got != e {
+			t.Errorf("ParseEngine(%q) = %v, %v", e.String(), got, err)
+		}
+	}
+	if got, err := ParseEngine(""); err != nil || got != EngineBatch {
+		t.Errorf("ParseEngine(\"\") = %v, %v; want EngineBatch", got, err)
+	}
+	if _, err := ParseEngine("warp"); err == nil {
+		t.Error("ParseEngine accepted an unknown engine")
+	}
+}
+
+// The batched engine preserves the phase vocabulary (litho.socs around the
+// row pass, litho.fft_inverse around the column pass) and the kernel-FFT
+// counter the observability stack depends on.
+func TestBatchEngineTelemetry(t *testing.T) {
+	mdl := model(t)
+	sim := newEngineSim(t, EngineBatch, 1)
+	rec := telemetry.New()
+	sim.Recorder = rec
+
+	const n = 64
+	mask := grid.NewMat(n, n)
+	mask.Fill(1)
+	f, err := sim.Forward(mask, mdl.Nominal, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Gradient(f, mask); err != nil {
+		t.Fatal(err)
+	}
+
+	phases := map[string]telemetry.PhaseStat{}
+	for _, p := range rec.Phases() {
+		phases[p.Name] = p
+	}
+	for _, name := range []string{"litho.socs", "litho.fft_inverse", "litho.fft_forward", "litho.adjoint"} {
+		if phases[name].Count == 0 {
+			t.Errorf("phase %s missing under the batched engine: %v", name, rec.Phases())
+		}
+	}
+	nk := len(mdl.Nominal.Kernels)
+	c := rec.Counters()
+	// One forward SOCS pass plus the gradient recompute path: 2·nk.
+	if c["litho.kernel_ffts"] != int64(2*nk) {
+		t.Errorf("litho.kernel_ffts = %d, want %d", c["litho.kernel_ffts"], 2*nk)
 	}
 }
 

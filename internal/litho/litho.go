@@ -19,12 +19,14 @@
 // contributions — so the result is bit-identical for every worker count,
 // including the serial path.
 //
-// FFT engine (see DESIGN.md, "FFT engine"): by default the simulator runs
-// band-aware transforms — the per-kernel inverse FFTs prune the rows and
-// butterfly blocks outside the P×P kernel-support band (bit-identical to
-// the dense transforms), and the mask spectrum uses the two-for-one
-// real-input forward (identical to rounding). Sim.Engine selects between
-// this default, the pruning-only EngineBandInverse, and the dense
+// FFT engine (see DESIGN.md, "FFT engine" and "FFT engine v2"): by default
+// the simulator runs the batched engine — all kernel products and pruned
+// inverse transforms of one SOCS call advance through a single cache-blocked
+// pass, with the inverse normalisation and SOCS scale folded into the
+// multiply, the mask spectrum from the two-for-one real-input forward
+// (identical to rounding), and the intensity fold fused into the column
+// transforms. Sim.Engine selects between this default, the per-kernel
+// EngineBand, the pruning-only EngineBandInverse, and the dense
 // EngineReference.
 package litho
 
@@ -50,11 +52,19 @@ import (
 type FFTEngine int
 
 const (
-	// EngineBand (the default) applies both optimisations: ForwardReal for
-	// the mask spectrum and InverseBand for every per-kernel inverse.
-	// Agrees with EngineReference to rounding (~ulp-level relative error,
-	// from the forward packing only); see DESIGN.md, "FFT engine".
-	EngineBand FFTEngine = iota
+	// EngineBatch (the default) runs the whole kernel set through one
+	// batched multiply + pruned inverse (fft.MulRowsBatch/InverseColumns):
+	// shared twiddle loads, four rows/columns in lockstep, the intensity
+	// fold fused into the column pass. Produces the same bits as EngineBand
+	// for every output (each lane performs EngineBand's exact operation
+	// sequence), hence agrees with EngineReference to rounding; see
+	// DESIGN.md, "FFT engine v2".
+	EngineBatch FFTEngine = iota
+	// EngineBand applies the two structural optimisations kernel by
+	// kernel: ForwardReal for the mask spectrum and InverseBand for every
+	// per-kernel inverse. Agrees with EngineReference to rounding
+	// (~ulp-level relative error, from the forward packing only).
+	EngineBand
 	// EngineBandInverse keeps the dense reference forward transform and
 	// prunes only the per-kernel inverses — bit-identical to
 	// EngineReference for every output, at most of EngineBand's speed.
@@ -63,6 +73,38 @@ const (
 	// reference implementation the equivalence tests compare against.
 	EngineReference
 )
+
+// String returns the flag spelling of the engine.
+func (e FFTEngine) String() string {
+	switch e {
+	case EngineBatch:
+		return "batch"
+	case EngineBand:
+		return "band"
+	case EngineBandInverse:
+		return "band-inverse"
+	case EngineReference:
+		return "reference"
+	}
+	return fmt.Sprintf("FFTEngine(%d)", int(e))
+}
+
+// ParseEngine maps a flag/config spelling to an engine. The empty string
+// selects the default (EngineBatch), so option structs can use "" for
+// "leave as is".
+func ParseEngine(s string) (FFTEngine, error) {
+	switch s {
+	case "", "batch":
+		return EngineBatch, nil
+	case "band":
+		return EngineBand, nil
+	case "band-inverse":
+		return EngineBandInverse, nil
+	case "reference":
+		return EngineReference, nil
+	}
+	return 0, fmt.Errorf("litho: unknown FFT engine %q (want batch, band, band-inverse or reference)", s)
+}
 
 // Sim owns the FFT plan cache and runs forward/adjoint simulations for one
 // optical model. It is safe for concurrent use.
@@ -173,7 +215,7 @@ func (s *Sim) checkMask(mask *grid.Mat, p int) error {
 func (s *Sim) maskSpectrum(plan *fft.Plan2, mask *grid.Mat) *grid.CMat {
 	sp := s.Recorder.StartSpan("litho.fft_forward")
 	defer sp.End()
-	if s.Engine == EngineBand {
+	if s.Engine == EngineBatch || s.Engine == EngineBand {
 		spec := grid.NewCMat(mask.W, mask.H)
 		plan.ForwardReal(spec, mask)
 		return spec
@@ -185,27 +227,43 @@ func (s *Sim) maskSpectrum(plan *fft.Plan2, mask *grid.Mat) *grid.CMat {
 
 // accumulateSOCS runs the per-kernel SOCS loop shared by Forward and
 // ForwardEq7: amplitude A_k = F⁻¹(scale·H_k ⊙ spec) at size m, intensity
-// += dose·w_k·|A_k|². The amplitude work fans out across kernelWorkers
+// += dose·w_k·|A_k|². The inverse-FFT 1/m² normalisation is folded into
+// the kernel multiply (fft.FoldInverseScale) on every engine, so each
+// amplitude buffer is touched one fewer time; all engines fold through the
+// same expression, preserving their cross-engine equivalences.
+//
+// Engines: EngineBatch hands the whole kernel set to fft.MulRowsBatch /
+// InverseColumns — one cache-blocked pass with the intensity fold fused
+// into the column transforms, bit-identical to the per-kernel band path.
+// The per-kernel engines fan the amplitude work across kernelWorkers
 // goroutines; each kernel's intensity contribution lands in a pooled
 // private buffer and the final fold into f.Intensity runs on the calling
-// goroutine in ascending k — the floating-point reduction order is fixed,
-// so any worker count produces the same bits.
+// goroutine in ascending k — the floating-point reduction order is fixed
+// (the batch fuses the same ascending-k fold into its disjoint column
+// blocks), so any worker count produces the same bits on every engine.
 //
 // Under the band engines the kernel product lives in a band-limited scratch
 // buffer (ApplyKernelBand clears only the previously dirty rows) and the
-// inverse is the pruned out-of-place InverseBand — bit-identical to the
-// dense ApplyKernel + Inverse pair it replaces.
+// inverse is the pruned out-of-place InverseBandNoNorm — bit-identical to
+// the dense ApplyKernel + InverseNoNorm pair it replaces.
 //
 // Telemetry: the serial lane alternates non-overlapping litho.socs /
 // litho.fft_inverse spans so traces show the inverse-transform share of the
 // SOCS loop; the parallel lane records one caller-side litho.socs span
 // (per-worker spans would double-count wall time and break tracecheck's
-// phase-coverage bound).
+// phase-coverage bound). The batch records one litho.socs span around the
+// row pass and one litho.fft_inverse span around the column pass.
 func (s *Sim) accumulateSOCS(f *Field, plan *fft.Plan2, spec *grid.CMat, m int, scale complex128, keepAmps bool) {
 	ks := f.KS
 	nk := len(ks.Kernels)
 	workers := s.kernelWorkers(nk)
 	banded := s.Engine != EngineReference
+	scale = fft.FoldInverseScale(scale, m, m)
+
+	if s.Engine == EngineBatch && s.batchSOCS(f, plan, spec, m, scale, keepAmps, workers) {
+		s.Recorder.Add("litho.kernel_ffts", int64(nk))
+		return
+	}
 
 	if workers <= 1 {
 		// Serial fast path: one amplitude buffer and one contribution buffer
@@ -235,9 +293,9 @@ func (s *Sim) accumulateSOCS(f *Field, plan *fft.Plan2, spec *grid.CMat, m int, 
 			sp.End()
 			spi := s.Recorder.StartSpan("litho.fft_inverse")
 			if banded {
-				plan.InverseBand(amp, prod, dirty)
+				plan.InverseBandNoNorm(amp, prod, dirty)
 			} else {
-				plan.Inverse(amp)
+				plan.InverseNoNorm(amp)
 			}
 			spi.End()
 			sp = s.Recorder.StartSpan("litho.socs")
@@ -269,7 +327,7 @@ func (s *Sim) accumulateSOCS(f *Field, plan *fft.Plan2, spec *grid.CMat, m int, 
 			} else {
 				amp = s.cscratch.Get(m, m)
 			}
-			plan.InverseBand(amp, prod, band)
+			plan.InverseBandNoNorm(amp, prod, band)
 			s.cscratch.Put(prod)
 		} else {
 			if keepAmps {
@@ -278,7 +336,7 @@ func (s *Sim) accumulateSOCS(f *Field, plan *fft.Plan2, spec *grid.CMat, m int, 
 			} else {
 				amp = fft.ApplyKernel(s.cscratch.Get(m, m), spec, h, m, scale)
 			}
-			plan.Inverse(amp)
+			plan.InverseNoNorm(amp)
 		}
 		c := s.mscratch.Get(m, m)
 		amp.AbsSqScaledInto(c, f.Dose*ks.Weights[k])
@@ -293,6 +351,43 @@ func (s *Sim) accumulateSOCS(f *Field, plan *fft.Plan2, spec *grid.CMat, m int, 
 	}
 	sp.End()
 	s.Recorder.Add("litho.kernel_ffts", int64(nk))
+}
+
+// batchSOCS is the EngineBatch lane of accumulateSOCS: the kernel multiply
+// and pruned inverse row transforms for all kernels run in one batched pass
+// (litho.socs span), then the column transforms with the fused ascending-k
+// intensity fold (litho.fft_inverse span). scale must already carry the
+// folded 1/m² (accumulateSOCS does this). Reports false when the batch
+// layout does not apply so the caller falls back to the per-kernel band
+// lane.
+func (s *Sim) batchSOCS(f *Field, plan *fft.Plan2, spec *grid.CMat, m int, scale complex128, keepAmps bool, workers int) bool {
+	ks := f.KS
+	sp := s.Recorder.StartSpan("litho.socs")
+	// The mask spectrum comes from a real mask, so it is Hermitian (to
+	// rounding) — the batch halves the row work for any exactly-Hermitian
+	// kernel; physical kernels carry defocus phase and keep the gate
+	// closed, so this path stays bit-identical to EngineBand.
+	b := plan.MulRowsBatch(spec, ks.Kernels, scale, true, workers)
+	if b == nil {
+		sp.End()
+		return false
+	}
+	weights := make([]float64, len(ks.Kernels))
+	for k := range weights {
+		weights[k] = f.Dose * ks.Weights[k]
+	}
+	var outs []*grid.CMat
+	if keepAmps {
+		for k := range f.Amps {
+			f.Amps[k] = grid.NewCMat(m, m)
+		}
+		outs = f.Amps
+	}
+	sp.End()
+	spi := s.Recorder.StartSpan("litho.fft_inverse")
+	b.InverseColumns(outs, weights, f.Intensity)
+	spi.End()
+	return true
 }
 
 // Forward runs the exact SOCS simulation (Eq. 3) of the mask at its own
@@ -389,40 +484,41 @@ func (s *Sim) Gradient(f *Field, dLdI *grid.Mat) (*grid.Mat, error) {
 	banded := s.Engine != EngineReference
 	nk := len(f.KS.Kernels)
 	p := f.KS.P
+	workers := s.kernelWorkers(nk)
+	// The amplitude recompute (fields without kept amps) folds the inverse
+	// normalisation into the kernel multiply, like the forward pass; the
+	// adjoint patch weight likewise absorbs the final inverse's 1/m².
+	ampScale := fft.FoldInverseScale(1, f.M, f.M)
 	if f.Amps == nil {
 		s.Recorder.Add("litho.kernel_ffts", int64(nk))
 	}
 	patches := make([]*grid.CMat, nk)
-	grid.ParallelFor(s.kernelWorkers(nk), nk, func(k int) {
-		h := f.KS.Kernels[k]
-		var amp *grid.CMat
-		recomputed := false
-		if f.Amps != nil {
-			amp = f.Amps[k]
-		} else if banded {
-			kprod, band := fft.ApplyKernelBand(s.cscratch.Get(f.M, f.M), fft.BandNone, f.Spec, h, f.M, 1)
-			amp = s.cscratch.Get(f.M, f.M)
-			plan.InverseBand(amp, kprod, band)
-			s.cscratch.Put(kprod)
-			recomputed = true
-		} else {
-			amp = fft.ApplyKernel(s.cscratch.Get(f.M, f.M), f.Spec, h, f.M, 1)
-			plan.Inverse(amp)
-			recomputed = true
-		}
-		// B_k = dLdI ⊙ A_k
-		prod := s.cscratch.Get(f.M, f.M)
-		for i, v := range amp.Data {
-			prod.Data[i] = v * complex(dLdI.Data[i], 0)
-		}
-		if recomputed {
-			s.cscratch.Put(amp)
-		}
-		plan.Forward(prod)
-		w := complex(2*f.KS.Weights[k]*f.Dose, 0)
-		patches[k] = fft.KernelAdjointPatch(s.cscratch.Get(p, p), prod, h, w)
-		s.cscratch.Put(prod)
-	})
+	if f.Amps == nil && s.Engine == EngineBatch && s.batchAdjointPatches(f, plan, dLdI, patches, ampScale, workers) {
+		// Amplitudes recomputed in batched chunks, patches filled.
+	} else {
+		grid.ParallelFor(workers, nk, func(k int) {
+			h := f.KS.Kernels[k]
+			var amp *grid.CMat
+			recomputed := false
+			if f.Amps != nil {
+				amp = f.Amps[k]
+			} else if banded {
+				kprod, band := fft.ApplyKernelBand(s.cscratch.Get(f.M, f.M), fft.BandNone, f.Spec, h, f.M, ampScale)
+				amp = s.cscratch.Get(f.M, f.M)
+				plan.InverseBandNoNorm(amp, kprod, band)
+				s.cscratch.Put(kprod)
+				recomputed = true
+			} else {
+				amp = fft.ApplyKernel(s.cscratch.Get(f.M, f.M), f.Spec, h, f.M, ampScale)
+				plan.InverseNoNorm(amp)
+				recomputed = true
+			}
+			patches[k] = s.adjointPatch(f, plan, amp, dLdI, k)
+			if recomputed {
+				s.cscratch.Put(amp)
+			}
+		})
+	}
 	// The patch fold only populates the P×P band of acc, so the band
 	// engines clear just those rows and run the pruned out-of-place inverse
 	// — bit-identical to the dense Zero + Inverse below.
@@ -441,13 +537,73 @@ func (s *Sim) Gradient(f *Field, dLdI *grid.Mat) (*grid.Mat, error) {
 	var out *grid.Mat
 	if useBand {
 		img := s.cscratch.Get(f.M, f.M)
-		plan.InverseBand(img, acc, accBand)
+		plan.InverseBandNoNorm(img, acc, accBand)
 		out = img.Real()
 		s.cscratch.Put(img)
 	} else {
-		plan.Inverse(acc)
+		plan.InverseNoNorm(acc)
 		out = acc.Real()
 	}
 	s.cscratch.Put(acc)
 	return out, nil
+}
+
+// adjointPatch computes one kernel's adjoint contribution: B_k = dLdI ⊙ A_k,
+// its forward transform, and the P×P frequency patch weighted by
+// 2·w_k·dose with the final inverse's 1/m² folded in.
+func (s *Sim) adjointPatch(f *Field, plan *fft.Plan2, amp *grid.CMat, dLdI *grid.Mat, k int) *grid.CMat {
+	prod := s.cscratch.Get(f.M, f.M)
+	for i, v := range amp.Data {
+		prod.Data[i] = v * complex(dLdI.Data[i], 0)
+	}
+	plan.Forward(prod)
+	w := fft.FoldInverseScale(complex(2*f.KS.Weights[k]*f.Dose, 0), f.M, f.M)
+	patch := fft.KernelAdjointPatch(s.cscratch.Get(f.KS.P, f.KS.P), prod, f.KS.Kernels[k], w)
+	s.cscratch.Put(prod)
+	//lint:ignore scratchalias the returned patch is pool-leased on purpose: Gradient owns it for the duration of the fold loop and Puts every entry of patches right after AddKernelPatch
+	return patch
+}
+
+// batchAdjointPatches is the EngineBatch lane of the gradient's
+// amplitude-recompute path: amplitudes are regenerated through
+// MulRowsBatch/InverseColumns in chunks (bounding the live amplitude
+// memory to ~chunk·m² complex values instead of nk·m²), then each chunk's
+// adjoint patches are computed in parallel. Patch values are bit-identical
+// to the per-kernel lane — the batch reproduces its amplitude bits, and
+// the patch arithmetic is shared (adjointPatch). Reports false when the
+// batch layout does not apply.
+func (s *Sim) batchAdjointPatches(f *Field, plan *fft.Plan2, dLdI *grid.Mat, patches []*grid.CMat, ampScale complex128, workers int) bool {
+	ks := f.KS
+	nk := len(ks.Kernels)
+	chunk := workers
+	if chunk < 4 {
+		chunk = 4
+	}
+	if chunk > nk {
+		chunk = nk
+	}
+	amps := make([]*grid.CMat, chunk)
+	for i := range amps {
+		amps[i] = s.cscratch.Get(f.M, f.M)
+	}
+	defer func() {
+		for i := range amps {
+			s.cscratch.Put(amps[i])
+		}
+	}()
+	for c0 := 0; c0 < nk; c0 += chunk {
+		c1 := c0 + chunk
+		if c1 > nk {
+			c1 = nk
+		}
+		b := plan.MulRowsBatch(f.Spec, ks.Kernels[c0:c1], ampScale, true, workers)
+		if b == nil {
+			return false // layout constraint: fails on the first chunk or never
+		}
+		b.InverseColumns(amps[:c1-c0], nil, nil)
+		grid.ParallelFor(workers, c1-c0, func(j int) {
+			patches[c0+j] = s.adjointPatch(f, plan, amps[j], dLdI, c0+j)
+		})
+	}
+	return true
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/layout"
+	"repro/internal/litho"
 	"repro/internal/optics"
 )
 
@@ -83,6 +84,10 @@ type JobRequest struct {
 	// Workers bounds the per-kernel simulation fan-out inside this job
 	// (0 = GOMAXPROCS). Results are bit-identical for every value.
 	Workers int `json:"workers,omitempty"`
+	// Engine selects the simulator's FFT engine by name: "batch" (the
+	// default, also selected by ""), "band", "band-inverse" or
+	// "reference". See litho.ParseEngine.
+	Engine string `json:"engine,omitempty"`
 	// Priority is "batch" (default) or "interactive".
 	Priority string `json:"priority,omitempty"`
 
@@ -290,6 +295,9 @@ func resolveJob(req JobRequest, lim Limits) (*JobSpec, error) {
 	}
 	if req.Workers < 0 || req.Workers > 256 {
 		return nil, fmt.Errorf("workers = %d outside [0, 256]", req.Workers)
+	}
+	if _, err := litho.ParseEngine(req.Engine); err != nil {
+		return nil, err
 	}
 	return spec, nil
 }

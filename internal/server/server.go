@@ -314,6 +314,8 @@ func (s *Server) runJob(j *Job) {
 	p := litho.NewProcess(model)
 	p.Sim.Plans = &s.plans
 	p.Sim.Workers = spec.Req.Workers
+	// Engine validity was checked at submit time (resolveJob).
+	p.Sim.Engine, _ = litho.ParseEngine(spec.Req.Engine)
 	p.Sim.Recorder = rec
 
 	opts := core.DefaultOptions(p)
@@ -537,16 +539,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // metricsJSON is the GET /metrics document: the server recorder snapshot
 // (the same data the "ilt" expvar exports) plus queue and runtime gauges.
 type metricsJSON struct {
-	ElapsedSec   float64                `json:"elapsed_sec"`
-	QueueDepth   int                    `json:"queue_depth"`
-	QueueHigh    int                    `json:"queue_interactive"`
-	Jobs         map[string]int         `json:"jobs_by_state"`
-	CachedModels int                    `json:"cached_models"`
-	CachedPlans  int                    `json:"cached_fft_plans"`
-	Counters     map[string]int64       `json:"counters"`
-	Phases       []telemetry.PhaseStat  `json:"phases,omitempty"`
-	Histograms   []telemetry.HistStat   `json:"histograms,omitempty"`
-	Runtime      telemetry.RuntimeStats `json:"runtime"`
+	ElapsedSec   float64        `json:"elapsed_sec"`
+	QueueDepth   int            `json:"queue_depth"`
+	QueueHigh    int            `json:"queue_interactive"`
+	Jobs         map[string]int `json:"jobs_by_state"`
+	CachedModels int            `json:"cached_models"`
+	CachedPlans  int            `json:"cached_fft_plans"`
+	// Shared FFT transform-table dedup (see internal/fft tables.go): total
+	// payload bytes of the tables built by this process, and how many plan
+	// constructions reused an existing set.
+	FFTTableBytes int64                  `json:"fft_table_bytes"`
+	FFTTableReuse int64                  `json:"fft_table_reuse"`
+	Counters      map[string]int64       `json:"counters"`
+	Phases        []telemetry.PhaseStat  `json:"phases,omitempty"`
+	Histograms    []telemetry.HistStat   `json:"histograms,omitempty"`
+	Runtime       telemetry.RuntimeStats `json:"runtime"`
 }
 
 // handleMetrics negotiates on the Accept header: Prometheus scrapers (which
@@ -561,16 +568,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	qi, qb := s.queue.depth()
 	writeJSON(w, http.StatusOK, metricsJSON{
-		ElapsedSec:   s.rec.Elapsed(),
-		QueueDepth:   qi + qb,
-		QueueHigh:    qi,
-		Jobs:         s.jobsByState(),
-		CachedModels: s.models.size(),
-		CachedPlans:  s.plans.Sizes(),
-		Counters:     s.rec.Counters(),
-		Phases:       s.rec.Phases(),
-		Histograms:   s.rec.Histograms(),
-		Runtime:      telemetry.ReadRuntime(),
+		ElapsedSec:    s.rec.Elapsed(),
+		QueueDepth:    qi + qb,
+		QueueHigh:     qi,
+		Jobs:          s.jobsByState(),
+		CachedModels:  s.models.size(),
+		CachedPlans:   s.plans.Sizes(),
+		FFTTableBytes: fft.TableBytes(),
+		FFTTableReuse: fft.TableReuse(),
+		Counters:      s.rec.Counters(),
+		Phases:        s.rec.Phases(),
+		Histograms:    s.rec.Histograms(),
+		Runtime:       telemetry.ReadRuntime(),
 	})
 }
 
@@ -597,6 +606,8 @@ func (s *Server) writePrometheusMetrics(w http.ResponseWriter) {
 	telemetry.WriteGauge(&buf, "ilt_queue_interactive", float64(qi))
 	telemetry.WriteGauge(&buf, "ilt_cached_models", float64(s.models.size()))
 	telemetry.WriteGauge(&buf, "ilt_cached_fft_plans", float64(s.plans.Sizes()))
+	telemetry.WriteGauge(&buf, "ilt_fft_table_bytes", float64(fft.TableBytes()))
+	fmt.Fprintf(&buf, "# TYPE ilt_fft_table_reuse_total counter\nilt_fft_table_reuse_total %d\n", fft.TableReuse())
 	telemetry.WriteGauge(&buf, "ilt_elapsed_seconds", s.rec.Elapsed())
 	fmt.Fprint(&buf, "# TYPE ilt_jobs gauge\n")
 	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
