@@ -1,7 +1,7 @@
 GO ?= go
 BIN_DIR := bin
 
-.PHONY: all build test race trace-smoke trace-stat server-smoke server-race bench bench-workers bench-fft bench-fft-smoke bench-compare vet lint bench-lint check
+.PHONY: all build test race trace-smoke trace-stat server-smoke server-race bench bench-workers bench-fft bench-fft-smoke bench-compare vet lint lint-perf lint-perf-baseline bench-lint check
 
 all: build test
 
@@ -75,14 +75,18 @@ server-race:
 vet:
 	$(GO) vet ./...
 
-# Static-analysis lane: the eight repo-specific analyzers (floatcmp,
+# Static-analysis lane: the thirteen repo-specific analyzers (floatcmp,
 # maporder, scratchalias, hotalloc, errcheck, gridres, leasepath,
-# atomicfield) over every package. The binary is built once into bin/ (the
-# go build cache makes rebuilds near-free) instead of paying `go run`'s
-# link-and-copy on every invocation; on findings it exits 1 with per-rule
-# counts. See README ("iltlint") and DESIGN.md ("Static analysis"). The
-# ./... wildcard skips testdata, so the deliberately violating lint
-# fixtures are not linted.
+# atomicfield, plus the perf-invariant set: bce, escape, inline, ctxflow,
+# timerleak) over every package. The compiler-fact rules read the
+# checked-in lint.hot manifest and ratchet through lint-perf.baseline —
+# the run fails only on findings beyond the recorded debt. The binary is
+# built once into bin/ (the go build cache makes rebuilds near-free)
+# instead of paying `go run`'s link-and-copy on every invocation; on
+# findings it exits 1 with per-rule counts. See README ("iltlint") and
+# DESIGN.md ("Static analysis", "Performance invariants"). The ./...
+# wildcard skips testdata, so the deliberately violating lint fixtures are
+# not linted.
 ILTLINT := $(BIN_DIR)/iltlint
 
 $(ILTLINT): FORCE
@@ -92,10 +96,22 @@ $(ILTLINT): FORCE
 FORCE:
 
 lint: $(ILTLINT)
-	$(ILTLINT) ./...
+	$(ILTLINT) -baseline lint-perf.baseline ./...
 
-# Lint-perf trajectory: median wall time of the full eight-rule suite over
-# ./... at workers=1 vs workers=GOMAXPROCS, recorded in BENCH_LINT.json.
+# Perf-invariant lane on its own: just the five serving/compiler-fact
+# rules against the ratchet, the command CI's lint-perf job runs.
+lint-perf: $(ILTLINT)
+	$(ILTLINT) -rules bce,escape,inline,ctxflow,timerleak \
+		-baseline lint-perf.baseline ./...
+
+# Re-record the ratchet after deliberately accepting new hot-path debt
+# (reviewed like any other baseline change).
+lint-perf-baseline: $(ILTLINT)
+	$(ILTLINT) -rules bce,escape,inline,ctxflow,timerleak \
+		-baseline-write lint-perf.baseline ./...
+
+# Lint-perf trajectory: median wall time of the full thirteen-rule suite
+# over ./... at workers=1 vs workers=GOMAXPROCS, recorded in BENCH_LINT.json.
 bench-lint: $(ILTLINT)
 	$(ILTLINT) -selfbench BENCH_LINT.json ./...
 

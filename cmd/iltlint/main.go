@@ -2,7 +2,10 @@
 // (internal/lint) over the module: the determinism, aliasing, zero-alloc
 // and multi-level-resolution invariants the perf PRs proved by hand,
 // enforced mechanically — including the interprocedural rules that follow
-// pool leases and grid resolutions through the call graph.
+// pool leases and grid resolutions through the call graph, and the
+// compiler-fact ratchets (bce, escape, inline) that re-run the compiler's
+// -m/-d=ssa/check_bce diagnostics over the hot regions declared in the
+// checked-in lint.hot manifest.
 //
 //	iltlint ./...                    # run every rule, text output
 //	iltlint -json ./...              # stable machine-readable output
@@ -10,6 +13,7 @@
 //	iltlint -fix ./...               # apply suggested fixes, then re-check
 //	iltlint -diff ./...              # preview suggested fixes as unified diffs
 //	iltlint -workers 8 ./...         # parallel load/analyze (0 = GOMAXPROCS)
+//	iltlint -hot lint.hot ./...      # hot-region manifest for bce/escape/inline
 //	iltlint -baseline-write b.json   # record current findings as the ratchet
 //	iltlint -baseline b.json ./...   # fail only on findings beyond the baseline
 //	iltlint -selfbench out.json      # time the suite at workers 1 vs N
@@ -50,6 +54,7 @@ func run() int {
 	diff := flag.Bool("diff", false, "print suggested fixes as unified diffs without writing them")
 	rules := flag.String("rules", "all", "comma-separated rule subset to run")
 	workers := flag.Int("workers", 0, "load/analyze parallelism (0 = GOMAXPROCS)")
+	hot := flag.String("hot", "", "hot-region manifest for bce/escape/inline (default: lint.hot in the target dir, skipped if absent)")
 	baseline := flag.String("baseline", "", "filter findings through a recorded baseline file")
 	baselineWrite := flag.String("baseline-write", "", "record current findings to a baseline file and exit 0")
 	selfbench := flag.String("selfbench", "", "time the suite at workers 1 vs N, write JSON to this file, and exit")
@@ -57,8 +62,8 @@ func run() int {
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: iltlint [-json] [-fix] [-diff] [-rules r1,r2] [-workers n]\n"+
-				"               [-baseline file] [-baseline-write file] [-selfbench file]\n"+
-				"               [-list] [packages]\n\n"+
+				"               [-hot manifest] [-baseline file] [-baseline-write file]\n"+
+				"               [-selfbench file] [-list] [packages]\n\n"+
 				"Runs the repo's static-analysis suite (default patterns: ./...).\n"+
 				"Exit codes: 0 clean, 1 findings, 2 load error.\n\n")
 		flag.PrintDefaults()
@@ -77,7 +82,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "iltlint:", err)
 		return 2
 	}
-	opts := lint.Options{Patterns: flag.Args(), Analyzers: analyzers, Workers: *workers}
+	opts := lint.Options{Patterns: flag.Args(), Analyzers: analyzers, Workers: *workers, HotManifest: *hot}
 
 	if *selfbench != "" {
 		return runSelfbench(opts, *selfbench)

@@ -106,7 +106,8 @@ func (p *Plan2) MulRowsBatch(spec *grid.CMat, kernels []*grid.CMat, scale comple
 		workers = 1
 	}
 
-	b := &BatchInverse{
+	b := p.biPool.Get().(*BatchInverse)
+	*b = BatchInverse{
 		p: p, band: band, rows: rows, groups: groups, nk: nk, workers: workers,
 		colBT: p.colP.bandTable(half),
 	}
@@ -114,8 +115,10 @@ func (p *Plan2) MulRowsBatch(spec *grid.CMat, kernels []*grid.CMat, scale comple
 	b.bufp = p.batchBufs.Get().(*[]complex128)
 	need := nk * groups * 4 * m
 	if cap(*b.bufp) < need {
+		//lint:ignore escape grow-on-miss of the pooled row slab; amortized to zero once the plan is warm
 		*b.bufp = make([]complex128, need)
 	}
+	//lint:ignore scratchalias the slab view lives inside the leased shell on purpose: InverseColumns consumes both and Puts both
 	b.buf = (*b.bufp)[:need]
 
 	rowBT := p.rowP.bandTable(half)
@@ -170,6 +173,7 @@ func (p *Plan2) MulRowsBatch(spec *grid.CMat, kernels []*grid.CMat, scale comple
 			}
 		}
 	})
+	//lint:ignore scratchalias the pooled shell is handed to the caller by contract; InverseColumns (mandatory, single-use) returns it to biPool
 	return b
 }
 
@@ -247,7 +251,8 @@ func (b *BatchInverse) InverseColumns(outs []*grid.CMat, weights []float64, inte
 		p.colBufs4.Put(cbp)
 	})
 	p.batchBufs.Put(b.bufp)
-	b.buf, b.bufp = nil, nil
+	*b = BatchInverse{}
+	p.biPool.Put(b)
 }
 
 // inversePruned4 is inversePruned over four interleaved lanes: x holds 4·N
@@ -262,11 +267,16 @@ func (p *Plan) inversePruned4(x []complex128, bt *bandTable) {
 	}
 	for i, r := range p.tab.rev {
 		if int32(i) < r {
+			// Length-4-capped reslices: the compiler proves xa[0..3]/xb[0..3]
+			// in bounds, so each lane swap costs one slice check instead of
+			// eight element checks (bce ratchet).
 			a, b := 4*i, 4*int(r)
-			x[a], x[b] = x[b], x[a]
-			x[a+1], x[b+1] = x[b+1], x[a+1]
-			x[a+2], x[b+2] = x[b+2], x[a+2]
-			x[a+3], x[b+3] = x[b+3], x[a+3]
+			xa := x[a : a+4 : a+4]
+			xb := x[b : b+4 : b+4]
+			xa[0], xb[0] = xb[0], xa[0]
+			xa[1], xb[1] = xb[1], xa[1]
+			xa[2], xb[2] = xb[2], xa[2]
+			xa[3], xb[3] = xb[3], xa[3]
 		}
 	}
 	for s := 1; s <= p.logN; s++ {
@@ -283,20 +293,24 @@ func (p *Plan) inversePruned4(x []complex128, bt *bandTable) {
 			}
 			for j := 0; j < m; j++ {
 				twj := tw[j]
+				// Same reslice trick as the bit-reverse pass: two slice
+				// checks per butterfly instead of sixteen element checks.
 				a, b := 4*(k+j), 4*(k+j+m)
-				t0 := twj * x[b]
-				t1 := twj * x[b+1]
-				t2 := twj * x[b+2]
-				t3 := twj * x[b+3]
-				u0, u1, u2, u3 := x[a], x[a+1], x[a+2], x[a+3]
-				x[a] = u0 + t0
-				x[a+1] = u1 + t1
-				x[a+2] = u2 + t2
-				x[a+3] = u3 + t3
-				x[b] = u0 - t0
-				x[b+1] = u1 - t1
-				x[b+2] = u2 - t2
-				x[b+3] = u3 - t3
+				xa := x[a : a+4 : a+4]
+				xb := x[b : b+4 : b+4]
+				t0 := twj * xb[0]
+				t1 := twj * xb[1]
+				t2 := twj * xb[2]
+				t3 := twj * xb[3]
+				u0, u1, u2, u3 := xa[0], xa[1], xa[2], xa[3]
+				xa[0] = u0 + t0
+				xa[1] = u1 + t1
+				xa[2] = u2 + t2
+				xa[3] = u3 + t3
+				xb[0] = u0 - t0
+				xb[1] = u1 - t1
+				xb[2] = u2 - t2
+				xb[3] = u3 - t3
 			}
 		}
 	}

@@ -27,6 +27,10 @@ type Plan2 struct {
 	// BatchInverse.InverseColumns (complex amplitudes and real intensity).
 	colBufs4 sync.Pool
 	intBufs  sync.Pool
+	// biPool recycles the BatchInverse shell itself: the struct is
+	// single-use by contract, so InverseColumns returns it here and the
+	// chunked gradient's repeated MulRowsBatch calls stop allocating it.
+	biPool sync.Pool
 }
 
 // NewPlan2 creates a 2-D plan for w×h matrices.
@@ -51,6 +55,7 @@ func NewPlan2(w, h int) (*Plan2, error) {
 	p.batchBufs.New = func() any { b := []complex128(nil); return &b }
 	p.colBufs4.New = func() any { b := make([]complex128, 4*h); return &b }
 	p.intBufs.New = func() any { b := make([]float64, 4*h); return &b }
+	p.biPool.New = func() any { return new(BatchInverse) }
 	return p, nil
 }
 

@@ -45,6 +45,44 @@ func (p *CMatPool) Put(m *CMat) {
 	p.pool(m.W, m.H).Put(m)
 }
 
+// CMatSlicePool recycles the small []*CMat work lists the chunked
+// per-kernel fan-outs build once per call (patch tables, amplitude
+// chunks). It follows the *[]T header idiom of the FFT plan's batch
+// buffers: Get hands back both the pooled header and a cleared length-n
+// view through it, and the caller Puts the header when the view dies.
+type CMatSlicePool struct {
+	pool sync.Pool // *[]*CMat
+}
+
+// Get leases a length-n slice with nil entries plus the header to Put.
+func (p *CMatSlicePool) Get(n int) (*[]*CMat, []*CMat) {
+	hp, _ := p.pool.Get().(*[]*CMat)
+	if hp == nil {
+		hp = new([]*CMat)
+	}
+	if cap(*hp) < n {
+		*hp = make([]*CMat, n)
+	}
+	s := (*hp)[:n]
+	for i := range s {
+		s[i] = nil
+	}
+	return hp, s
+}
+
+// Put returns a header obtained from Get; entries are dropped so the pool
+// does not pin matrices. nil is ignored.
+func (p *CMatSlicePool) Put(hp *[]*CMat) {
+	if hp == nil {
+		return
+	}
+	s := *hp
+	for i := range s {
+		s[i] = nil
+	}
+	p.pool.Put(hp)
+}
+
 // MatPool recycles real scratch matrices by (w, h).
 type MatPool struct {
 	pools sync.Map // uint64 key → *sync.Pool of *Mat

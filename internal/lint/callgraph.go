@@ -91,6 +91,20 @@ type Program struct {
 	// (grid.ParallelFor's body).
 	GoroutineReachable map[FuncKey]bool
 
+	// ServerReachable marks functions on the serving surface: everything
+	// declared in a package whose import path has a "server" or "core"
+	// segment, plus the transitive static and candidate callees. The
+	// ctxflow analyzer scopes its context-discipline checks to this set —
+	// a CLI batch tool may sleep and detach freely; a daemon may not.
+	ServerReachable map[FuncKey]bool
+
+	// Hot is the lint.hot manifest of the run, nil when none was found;
+	// GCFacts holds the parsed compiler diagnostics per manifest-covered
+	// import path. Both are attached by the runner before passes start
+	// (see Run) and consumed by the bce/escape/inline analyzers.
+	Hot     *HotManifest
+	GCFacts map[string]*GCFacts
+
 	// AtomicFields maps a field key ("pkg/path.Type.Field") to the
 	// positions where it is accessed through a sync/atomic call, across
 	// the whole package set. See atomicfield.go.
@@ -106,6 +120,7 @@ func BuildProgram(pkgs []*Package, fset *token.FileSet) *Program {
 		Pkgs:               pkgs,
 		Funcs:              map[FuncKey]*FuncInfo{},
 		GoroutineReachable: map[FuncKey]bool{},
+		ServerReachable:    map[FuncKey]bool{},
 		AtomicFields:       map[string][]token.Position{},
 	}
 
@@ -155,7 +170,52 @@ func BuildProgram(pkgs []*Package, fset *token.FileSet) *Program {
 
 	computeSummaries(prog)
 	prog.computeGoroutineReachable()
+	prog.computeServerReachable()
 	return prog
+}
+
+// computeServerReachable floods the call graph from every function whose
+// package path carries a "server" or "core" segment: the serving arc's
+// entry surface plus everything it can execute.
+func (p *Program) computeServerReachable() {
+	var queue []FuncKey
+	mark := func(k FuncKey) {
+		if k != "" && !p.ServerReachable[k] {
+			if _, ok := p.Funcs[k]; ok {
+				p.ServerReachable[k] = true
+				queue = append(queue, k)
+			}
+		}
+	}
+	for _, key := range p.sortedFuncKeys() {
+		if hasPathSegment(p.Funcs[key].Pkg.Path, "server", "core") {
+			mark(key)
+		}
+	}
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		fi := p.Funcs[k]
+		for callee := range fi.Callees {
+			mark(callee)
+		}
+		for callee := range fi.Dynamic {
+			mark(callee)
+		}
+	}
+}
+
+// hasPathSegment reports whether any "/"-separated segment of an import
+// path equals one of segs.
+func hasPathSegment(path string, segs ...string) bool {
+	for _, part := range strings.Split(path, "/") {
+		for _, s := range segs {
+			if part == s {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // collectEdges walks body recording call edges of node. spawned marks the

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow guards the serving arc's context discipline. A request context
+// carries the deadline, the cancellation signal and the trace identity of
+// one job; the moment a call chain reaches for context.Background() (or
+// TODO), or blocks in a way no cancellation can interrupt, the daemon's
+// drain guarantees stop holding. The analyzer scopes itself to
+// Program.ServerReachable — functions in or transitively callable from a
+// package with a "server" or "core" path segment — because the same
+// patterns are perfectly fine in a batch CLI.
+//
+// Two findings:
+//
+//   - a server-reachable function that already has a context.Context in
+//     scope (own parameter or an enclosing closure's) passes
+//     context.Background()/TODO() to a callee: the fresh root context
+//     severs the cancellation chain, including for `go f(context.
+//     Background())` spawns;
+//   - a server-reachable function calls time.Sleep: an uninterruptible
+//     block on a serving path. With a context in scope the fix is a
+//     select on ctx.Done() and a timer; without one the fix is plumbing
+//     the context this far first.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags context.Background()/TODO() and uninterruptible blocking (time.Sleep) on server/core-reachable call paths that should stay on the request context",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil {
+		return
+	}
+	pkg := prog.packageOf(pass.Pkg)
+	if pkg == nil {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fi := prog.FuncOf(pkg, fd)
+			if fi == nil || !prog.ServerReachable[fi.Key] {
+				continue
+			}
+			checkCtxFlow(pass, fd)
+		}
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// hasCtxParam reports whether ft declares a context.Context parameter.
+func hasCtxParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if t := pass.TypeOf(field.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCtxFlow walks one server-reachable function. ctxDepth tracks how
+// many nested function scopes currently have a Context parameter in
+// scope: a closure inherits its enclosing function's context.
+func checkCtxFlow(pass *Pass, fd *ast.FuncDecl) {
+	var walk func(n ast.Node, ctxInScope bool)
+	walk = func(n ast.Node, ctxInScope bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				walk(m.Body, ctxInScope || hasCtxParam(pass, m.Type))
+				return false
+			case *ast.CallExpr:
+				if p, name, ok := pass.pkgFunc(m); ok {
+					if p == "time" && name == "Sleep" {
+						if ctxInScope {
+							pass.Report(m.Pos(), nil,
+								"time.Sleep on a server-reachable path ignores the context in scope: select on ctx.Done() and a time.Timer instead (ctxflow)")
+						} else {
+							pass.Report(m.Pos(), nil,
+								"time.Sleep on a server-reachable path cannot be cancelled: plumb the request context here and select on ctx.Done() (ctxflow)")
+						}
+					}
+				}
+				if !ctxInScope {
+					return true
+				}
+				for _, a := range m.Args {
+					ac, ok := unparen(a).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					if p, name, ok := pass.pkgFunc(ac); ok && p == "context" && (name == "Background" || name == "TODO") {
+						pass.Report(ac.Pos(), nil,
+							"context.%s() severs the request context that is already in scope: pass ctx (or a context derived from it) instead (ctxflow)", name)
+					}
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(fd.Body, hasCtxParam(pass, fd.Type))
+}

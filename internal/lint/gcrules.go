@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The three compiler-fact analyzers. Each scopes itself to the hot regions
+// the lint.hot manifest declares (hotmanifest.go) and reads the positioned
+// facts gcdiag.go parsed out of `go tool compile -m -d=ssa/check_bce`.
+//
+// Ratchet keying. Diagnostic messages deliberately name the hot function
+// but never a line number: the baseline (baseline.go) keys entries on
+// (file, rule, message) with a count, so "N surviving bounds checks in
+// (*Plan).inversePruned4" is absorbed while check N+1 — a new bounds check
+// introduced by an edit anywhere in that function — surfaces as fresh even
+// when every line number in the file shifted.
+
+// BCE flags index/slice expressions whose bounds check survived SSA
+// optimization inside a declared hot function.
+var BCE = &Analyzer{
+	Name: "bce",
+	Doc:  "flags surviving compiler bounds checks (ssa/check_bce) inside lint.hot-declared hot functions",
+	Run:  runBCE,
+}
+
+// Escape flags values the compiler moved to the heap inside a declared hot
+// function.
+var Escape = &Analyzer{
+	Name: "escape",
+	Doc:  "flags compiler-proven heap escapes (-m) inside lint.hot-declared hot functions",
+	Run:  runEscape,
+}
+
+// Inline flags calls inside a declared hot function that the compiler did
+// not inline.
+var Inline = &Analyzer{
+	Name: "inline",
+	Doc:  "flags in-module calls inside lint.hot-declared hot functions that fell out of the inlining budget",
+	Run:  runInline,
+}
+
+// gcSetup fetches the shared pieces every gc analyzer needs, reporting
+// ok=false when the run has no manifest or this package is not covered.
+func gcSetup(pass *Pass) (facts *GCFacts, regions []hotRegion, ok bool) {
+	prog := pass.Prog
+	if prog == nil || prog.Hot == nil {
+		return nil, nil, false
+	}
+	facts = prog.GCFacts[pass.Pkg.Path()]
+	if facts == nil {
+		return nil, nil, false
+	}
+	regions = hotRegionsOf(pass, prog.Hot)
+	return facts, regions, len(regions) > 0
+}
+
+// factPos resolves a compiler-reported (line, col) inside region to a
+// token.Pos in the loader's FileSet. The compiler was handed the same
+// absolute paths the parser loaded, so the region's token.File is the
+// right coordinate system.
+func factPos(pass *Pass, region *hotRegion, f GCFact) token.Pos {
+	tf := pass.Fset.File(region.fd.Pos())
+	if tf == nil || f.Line < 1 || f.Line > tf.LineCount() {
+		return region.fd.Pos()
+	}
+	p := tf.LineStart(f.Line) + token.Pos(f.Col-1)
+	if p < token.Pos(tf.Base()) || p > token.Pos(tf.Base()+tf.Size()) {
+		return tf.LineStart(f.Line)
+	}
+	return p
+}
+
+func runBCE(pass *Pass) {
+	facts, regions, ok := gcSetup(pass)
+	if !ok {
+		return
+	}
+	for _, f := range facts.BoundsChecks {
+		r := regionAt(regions, f.File, f.Line)
+		if r == nil {
+			continue
+		}
+		pass.Report(factPos(pass, r, f), nil,
+			"bounds check survives in hot function %s (%s): reslice or hoist the bound so the compiler can drop it (bce ratchet, lint.hot)",
+			r.name, f.Text)
+	}
+}
+
+// panicIntervals collects the source intervals of panic(...) calls in fd:
+// escapes confined to a panic argument (operand boxing, Sprintf of the
+// message) happen on a path that is already crashing and would drown the
+// real findings.
+func panicIntervals(pass *Pass, fd *ast.FuncDecl) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+			if _, isBuiltin := pass.Info.ObjectOf(id).(*types.Builtin); isBuiltin {
+				out = append(out, [2]token.Pos{call.Pos(), call.End()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func runEscape(pass *Pass) {
+	facts, regions, ok := gcSetup(pass)
+	if !ok {
+		return
+	}
+	panics := map[*ast.FuncDecl][][2]token.Pos{}
+	for _, f := range facts.Escapes {
+		r := regionAt(regions, f.File, f.Line)
+		if r == nil {
+			continue
+		}
+		pos := factPos(pass, r, f)
+		iv, cached := panics[r.fd]
+		if !cached {
+			iv = panicIntervals(pass, r.fd)
+			panics[r.fd] = iv
+		}
+		onPanicPath := false
+		for _, p := range iv {
+			if p[0] <= pos && pos < p[1] {
+				onPanicPath = true
+				break
+			}
+		}
+		if onPanicPath {
+			continue
+		}
+		pass.Report(pos, nil,
+			"heap allocation in hot function %s: %s — hoist it out of the hot path or pool it (escape ratchet, lint.hot)",
+			r.name, f.Text)
+	}
+}
+
+func runInline(pass *Pass) {
+	facts, regions, ok := gcSetup(pass)
+	if !ok {
+		return
+	}
+	prog := pass.Prog
+	pkg := prog.packageOf(pass.Pkg)
+	if pkg == nil {
+		return
+	}
+	for ri := range regions {
+		r := &regions[ri]
+		self := prog.FuncOf(pkg, r.fd)
+
+		// Calls under go/defer are never inlined by the compiler; skip them.
+		skip := map[*ast.CallExpr]bool{}
+		ast.Inspect(r.fd, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				skip[n.Call] = true
+			case *ast.DeferStmt:
+				skip[n.Call] = true
+			}
+			return true
+		})
+
+		ast.Inspect(r.fd, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || skip[call] {
+				return true
+			}
+			calleeKey := staticCalleeKey(pkg.Info, call)
+			callee := prog.Funcs[calleeKey]
+			if callee == nil {
+				return true // out-of-module, dynamic, builtin, conversion: no budget to guard
+			}
+			if self != nil && callee.Key == self.Key {
+				return true // direct recursion can never inline
+			}
+			lp := pass.Fset.Position(call.Lparen)
+			if facts.Inlined[fmt.Sprintf("%s:%d:%d", lp.Filename, lp.Line, lp.Column)] {
+				return true
+			}
+			name := string(callee.Key)
+			if i := strings.LastIndex(name, "/"); i >= 0 {
+				name = name[i+1:]
+			}
+			pass.Report(call.Lparen, nil,
+				"call to %s is not inlined in hot function %s%s (inline ratchet, lint.hot)",
+				name, r.name, inlineReason(prog, callee))
+			return true
+		})
+	}
+}
+
+// inlineReason looks up the compiler's cannot-inline verdict for callee in
+// its own package's facts, when that package was compiled too.
+func inlineReason(prog *Program, callee *FuncInfo) string {
+	facts := prog.GCFacts[callee.Pkg.Path]
+	if facts == nil {
+		return ""
+	}
+	pos := prog.Fset.Position(callee.Decl.Name.Pos())
+	if reason, ok := facts.CannotInline[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)]; ok {
+		return ": " + reason
+	}
+	return " (callee is inlinable; this site is not)"
+}

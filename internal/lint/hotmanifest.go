@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"os"
+	"sort"
+	"strings"
+)
+
+// This file implements the lint.hot manifest: the checked-in declaration of
+// which functions are performance-critical enough that the compiler-fact
+// analyzers (bce, escape, inline — gcrules.go) guard them. The manifest is
+// the contract boundary: everything inside a listed function ratchets,
+// everything outside is free to allocate and bounds-check.
+//
+// Format, one entry per line:
+//
+//	# comment
+//	<import-path> <function>     one function of the package
+//	<import-path> *              every function of the package
+//
+// where <function> is the declaration's name as the compiler prints it:
+// "Name" for package-level functions, "(*Recv).Name" / "(Recv).Name" for
+// methods. Blank lines and #-comments are ignored. See DESIGN.md,
+// "Performance invariants".
+
+// A HotManifest is the parsed lint.hot file: per import path, the set of
+// declared-hot function names ("*" marks the whole package).
+type HotManifest struct {
+	pkgs map[string]map[string]bool
+}
+
+// ParseHotManifest reads manifest lines from src; name is used in errors.
+func ParseHotManifest(src []byte, name string) (*HotManifest, error) {
+	m := &HotManifest{pkgs: map[string]map[string]bool{}}
+	sc := bufio.NewScanner(strings.NewReader(string(src)))
+	for ln := 1; sc.Scan(); ln++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"<import-path> <function>\", got %q", name, ln, line)
+		}
+		path, fn := fields[0], fields[1]
+		if m.pkgs[path] == nil {
+			m.pkgs[path] = map[string]bool{}
+		}
+		m.pkgs[path][fn] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", name, err)
+	}
+	return m, nil
+}
+
+// LoadHotManifestFile parses the manifest at path. A missing file returns
+// (nil, nil): the gc analyzers simply have nothing to guard.
+func LoadHotManifestFile(path string) (*HotManifest, error) {
+	src, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ParseHotManifest(src, path)
+}
+
+// Packages lists the manifest's import paths in sorted order.
+func (m *HotManifest) Packages() []string {
+	out := make([]string, 0, len(m.pkgs))
+	for p := range m.pkgs {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Covers reports whether the manifest declares the named function of pkg
+// hot. fn uses the compiler's spelling ("Name", "(*Recv).Name").
+func (m *HotManifest) Covers(pkgPath, fn string) bool {
+	fns, ok := m.pkgs[pkgPath]
+	if !ok {
+		return false
+	}
+	return fns["*"] || fns[fn]
+}
+
+// declName renders fd's name in the manifest/compiler spelling.
+func declName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	switch rt := unparenType(fd.Recv.List[0].Type).(type) {
+	case *ast.StarExpr:
+		if id, ok := unparenType(rt.X).(*ast.Ident); ok {
+			return "(*" + id.Name + ")." + fd.Name.Name
+		}
+	case *ast.Ident:
+		return "(" + rt.Name + ")." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+func unparenType(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}
+
+// A hotRegion is one manifest-covered function resolved to source lines.
+type hotRegion struct {
+	fd        *ast.FuncDecl
+	name      string // compiler spelling, for messages
+	file      string // absolute path, matching compiler output
+	from, to  int    // inclusive line range of the declaration
+	bodyStart int    // line of the opening brace: facts before it are signature-level
+}
+
+// hotRegionsOf resolves the manifest against one package's files. Regions
+// come back sorted by (file, from) for deterministic iteration.
+func hotRegionsOf(pass *Pass, m *HotManifest) []hotRegion {
+	var out []hotRegion
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := declName(fd)
+			if !m.Covers(pass.Pkg.Path(), name) {
+				continue
+			}
+			from := pass.Fset.Position(fd.Pos())
+			to := pass.Fset.Position(fd.End())
+			body := pass.Fset.Position(fd.Body.Pos())
+			out = append(out, hotRegion{
+				fd: fd, name: name, file: from.Filename,
+				from: from.Line, to: to.Line, bodyStart: body.Line,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].from < out[j].from
+	})
+	return out
+}
+
+// regionAt finds the innermost region containing file:line, or nil.
+// Function declarations do not nest in Go, so first hit wins.
+func regionAt(regions []hotRegion, file string, line int) *hotRegion {
+	for i := range regions {
+		r := &regions[i]
+		if r.file == file && r.from <= line && line <= r.to {
+			return r
+		}
+	}
+	return nil
+}

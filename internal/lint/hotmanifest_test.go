@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestParseHotManifest(t *testing.T) {
+	src := `# hot kernels
+repro/internal/fft Forward
+repro/internal/fft (*Plan).Execute
+repro/internal/grid *
+
+repro/internal/litho (Mask).Area
+`
+	m, err := ParseHotManifest([]byte(src), "lint.hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"repro/internal/fft", "repro/internal/grid", "repro/internal/litho"}
+	got := m.Packages()
+	if len(got) != len(want) {
+		t.Fatalf("Packages = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Packages = %v, want %v (sorted)", got, want)
+		}
+	}
+	cases := []struct {
+		pkg, fn string
+		covered bool
+	}{
+		{"repro/internal/fft", "Forward", true},
+		{"repro/internal/fft", "(*Plan).Execute", true},
+		{"repro/internal/fft", "Inverse", false},
+		{"repro/internal/grid", "Anything", true}, // wildcard
+		{"repro/internal/litho", "(Mask).Area", true},
+		{"repro/internal/litho", "Area", false}, // method spelling is exact
+		{"repro/internal/server", "Handle", false},
+	}
+	for _, c := range cases {
+		if got := m.Covers(c.pkg, c.fn); got != c.covered {
+			t.Errorf("Covers(%s, %s) = %v, want %v", c.pkg, c.fn, got, c.covered)
+		}
+	}
+}
+
+func TestParseHotManifestErrors(t *testing.T) {
+	for _, bad := range []string{
+		"repro/internal/fft\n",                  // missing function field
+		"repro/internal/fft Forward Inverse\n",  // too many fields
+		"# fine\nrepro/internal/fft\n# trail\n", // error names the offending line
+	} {
+		if _, err := ParseHotManifest([]byte(bad), "lint.hot"); err == nil {
+			t.Errorf("ParseHotManifest(%q) succeeded, want line-shape error", bad)
+		}
+	}
+}
+
+// TestLoadHotManifestFileMissing pins the missing-manifest contract: a tree
+// with no lint.hot gets (nil, nil) and the gc analyzers simply idle.
+func TestLoadHotManifestFileMissing(t *testing.T) {
+	m, err := LoadHotManifestFile(filepath.Join(t.TempDir(), "lint.hot"))
+	if err != nil {
+		t.Fatalf("missing manifest should not error: %v", err)
+	}
+	if m != nil {
+		t.Fatalf("missing manifest should be nil, got %+v", m)
+	}
+}

@@ -25,10 +25,25 @@
 //     every path, including through helpers and deferred closures
 //   - atomicfield   — a field accessed via function-style sync/atomic
 //     anywhere must be accessed that way everywhere, across packages
+//   - bce           — no new surviving compiler bounds checks inside
+//     lint.hot-declared hot functions (perf ratchet)
+//   - escape        — no new compiler-proven heap escapes inside hot
+//     functions (zero-alloc steady-state ratchet)
+//   - inline        — no hot-path call falling out of the inlining
+//     budget (call-overhead ratchet)
+//   - ctxflow       — no context.Background()/TODO() or uninterruptible
+//     time.Sleep on server/core-reachable call paths
+//   - timerleak     — tickers, timers and context cancel funcs must be
+//     Stopped/called on every path, branch-sensitive like leasepath
 //
-// The last three are interprocedural: they consult a package-set call
-// graph and bottom-up per-function summaries (callgraph.go, summary.go)
-// built once per run and shared through Pass.Prog.
+// gridres, leasepath and atomicfield are interprocedural: they consult a
+// package-set call graph and bottom-up per-function summaries
+// (callgraph.go, summary.go) built once per run and shared through
+// Pass.Prog; ctxflow reuses the same graph for server-reachability. The
+// bce/escape/inline trio reads a second fact source entirely — the
+// compiler's own -m/-d=ssa/check_bce diagnostic stream (gcdiag.go),
+// scoped by the checked-in lint.hot manifest (hotmanifest.go) and held in
+// check by the committed lint-perf.baseline ratchet.
 //
 // A finding can be suppressed with a mandatory-reason directive on the
 // same line or the line above:
@@ -58,7 +73,8 @@ type Analyzer struct {
 
 // All is the registry of analyzers shipped with the suite, in the order
 // they run. cmd/iltlint selects from this set with -rules.
-var All = []*Analyzer{FloatCmp, MapOrder, ScratchAlias, HotAlloc, ErrCheck, GridRes, LeasePath, AtomicField}
+var All = []*Analyzer{FloatCmp, MapOrder, ScratchAlias, HotAlloc, ErrCheck, GridRes, LeasePath, AtomicField,
+	BCE, Escape, Inline, CtxFlow, TimerLeak}
 
 // Lookup resolves a comma-separated rule list against the registry.
 func Lookup(rules string) ([]*Analyzer, error) {

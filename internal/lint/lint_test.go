@@ -129,6 +129,23 @@ func TestGridResFixture(t *testing.T)      { testFixture(t, GridRes, "testdata/s
 func TestLeasePathFixture(t *testing.T)    { testFixture(t, LeasePath, "testdata/src/leasepath") }
 func TestAtomicFieldFixture(t *testing.T)  { testFixture(t, AtomicField, "testdata/src/atomicfield") }
 
+// TestHotDiagFixture drives the three compiler-fact ratchets over a
+// fixture with its own lint.hot manifest: surviving bounds checks, heap
+// escapes, and non-inlined calls fire only inside declared hot regions,
+// and the panic-path/ignore escapes stay silent.
+func TestHotDiagFixture(t *testing.T) {
+	testFixturePatterns(t, []*Analyzer{BCE, Escape, Inline}, "testdata/src/hotdiag", ".")
+}
+
+// TestCtxFlowFixture checks the server-reachability scoping: the same
+// context-severing shapes fire in the server package and its callees but
+// stay silent in the unreached batch package.
+func TestCtxFlowFixture(t *testing.T) {
+	testFixturePatterns(t, []*Analyzer{CtxFlow}, "testdata/src/ctxflow", "./...")
+}
+
+func TestTimerLeakFixture(t *testing.T) { testFixture(t, TimerLeak, "testdata/src/timerleak") }
+
 // TestInterprocFixture loads a two-package fixture in one run: the
 // findings in package b exist only because summaries computed for package
 // a (release chains, result resolution deltas, same-res constraints)
@@ -141,7 +158,7 @@ func TestInterprocFixture(t *testing.T) {
 // byte stream is identical at any worker count.
 func TestWorkersDeterminism(t *testing.T) {
 	runAt := func(workers int) []byte {
-		res, err := Run(Options{Dir: "testdata/src/driver", Patterns: []string{"."}, Workers: workers})
+		res, err := Run(Options{Dir: "testdata/src/driver", Patterns: []string{"./..."}, Workers: workers})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -159,12 +176,13 @@ func TestWorkersDeterminism(t *testing.T) {
 	}
 }
 
-// TestDriverJSONGolden runs the full five-analyzer suite over the driver
-// fixture — one violation per rule — and pins the -json byte stream: the
-// schema, the (file, line, col, rule) ordering, and run-to-run determinism.
+// TestDriverJSONGolden runs the full thirteen-analyzer suite over the
+// driver fixture — one violation per rule — and pins the -json byte
+// stream: the schema, the (file, line, col, rule) ordering, and
+// run-to-run determinism.
 func TestDriverJSONGolden(t *testing.T) {
 	runJSON := func() []byte {
-		res, err := Run(Options{Dir: "testdata/src/driver", Patterns: []string{"."}})
+		res, err := Run(Options{Dir: "testdata/src/driver", Patterns: []string{"./..."}})
 		if err != nil {
 			t.Fatalf("lint run: %v", err)
 		}
@@ -209,7 +227,7 @@ func TestDriverJSONGolden(t *testing.T) {
 // verifies the filter: a full baseline absorbs everything, a truncated one
 // lets exactly the dropped finding through.
 func TestBaselineRatchet(t *testing.T) {
-	res, err := Run(Options{Dir: "testdata/src/driver", Patterns: []string{"."}})
+	res, err := Run(Options{Dir: "testdata/src/driver", Patterns: []string{"./..."}})
 	if err != nil {
 		t.Fatal(err)
 	}

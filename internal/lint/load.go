@@ -26,6 +26,15 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// GoFiles are the package's source file base names in build order —
+	// exactly what `go tool compile` must be handed to reproduce the
+	// compiler's view of the package (gcdiag.go).
+	GoFiles []string
+	// Exports maps every import path in the load's dependency closure to
+	// its compiler export-data file. Shared by all packages of one load;
+	// gcdiag.go turns it into an -importcfg.
+	Exports map[string]string
 }
 
 // listPkg is the subset of `go list -json` output the loader consumes.
@@ -169,11 +178,13 @@ func LoadWorkers(dir string, workers int, patterns ...string) ([]*Package, *toke
 			return nil, nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
 		}
 		pkgs = append(pkgs, &Package{
-			Path:  p.ImportPath,
-			Dir:   p.Dir,
-			Files: files,
-			Types: tpkg,
-			Info:  info,
+			Path:    p.ImportPath,
+			Dir:     p.Dir,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+			GoFiles: p.GoFiles,
+			Exports: exports,
 		})
 	}
 	return pkgs, fset, nil

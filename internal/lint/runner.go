@@ -26,6 +26,10 @@ type Options struct {
 	// is byte-identical at every setting — packages keep load order and
 	// diagnostics are sorted after the merge.
 	Workers int
+	// HotManifest is the lint.hot path for the compiler-fact analyzers
+	// (bce/escape/inline). "" looks for Dir/lint.hot and silently skips
+	// those analyzers when it does not exist; a non-"" path must exist.
+	HotManifest string
 }
 
 // Result is the outcome of a run: suppression-filtered, deterministically
@@ -65,6 +69,33 @@ func Run(opts Options) (*Result, error) {
 	// read-only by every pass.
 	prog := BuildProgram(pkgs, fset)
 
+	// The compiler-fact substrate (gcdiag.go) is loaded only when a gc
+	// analyzer is selected AND a lint.hot manifest is present: compiling
+	// the hot packages costs real wall time, and a run without bce/escape/
+	// inline must not pay it.
+	if needsGCFacts(analyzers) {
+		hotPath := opts.HotManifest
+		explicit := hotPath != ""
+		if !explicit {
+			hotPath = filepath.Join(orDot(opts.Dir), "lint.hot")
+		}
+		hot, err := LoadHotManifestFile(hotPath)
+		if err != nil {
+			return nil, err
+		}
+		if hot == nil && explicit {
+			return nil, fmt.Errorf("hot manifest %s does not exist", hotPath)
+		}
+		if hot != nil {
+			facts, err := LoadGCDiagnostics(pkgs, hot, workers)
+			if err != nil {
+				return nil, err
+			}
+			prog.Hot = hot
+			prog.GCFacts = facts
+		}
+	}
+
 	// Packages are independent analysis units: fan out across workers,
 	// each accumulating into its own slot, then merge in load order so
 	// the result stream is identical at any worker count.
@@ -99,6 +130,24 @@ func Run(opts Options) (*Result, error) {
 	relativize(diags, opts.Dir)
 	sortDiags(diags)
 	return &Result{Diags: diags, Fset: fset}, nil
+}
+
+// needsGCFacts reports whether any selected analyzer consumes compiler
+// diagnostics.
+func needsGCFacts(analyzers []*Analyzer) bool {
+	for _, a := range analyzers {
+		if a == BCE || a == Escape || a == Inline {
+			return true
+		}
+	}
+	return false
+}
+
+func orDot(dir string) string {
+	if dir == "" {
+		return "."
+	}
+	return dir
 }
 
 // An ignoreDirective is one parsed //lint:ignore comment. It suppresses

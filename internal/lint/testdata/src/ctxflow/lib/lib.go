@@ -1,0 +1,21 @@
+// Package lib is compute code with no server path segment of its own: its
+// findings exist only because package server's call graph reaches it.
+package lib
+
+import (
+	"context"
+	"time"
+)
+
+// Process consumes a request context.
+func Process(ctx context.Context) {
+	_ = ctx
+}
+
+// Work is server-reachable through server.Handle; its retry sleep blocks
+// a serving path that cannot cancel it.
+func Work(n int) {
+	for i := 0; i < n; i++ {
+		time.Sleep(time.Millisecond) // want "cannot be cancelled: plumb the request context"
+	}
+}

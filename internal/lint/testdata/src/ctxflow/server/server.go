@@ -1,0 +1,43 @@
+// Package server is the ctxflow fixture's serving surface: its import
+// path carries a "server" segment, so everything here (and everything it
+// calls) is server-reachable.
+package server
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/lint/testdata/src/ctxflow/lib"
+)
+
+// Handle severs its own request context and blocks uninterruptibly.
+func Handle(ctx context.Context, d time.Duration) {
+	lib.Process(context.Background()) // want "severs the request context"
+	time.Sleep(d)                     // want "ignores the context in scope"
+	lib.Process(ctx)
+	lib.Work(3)
+}
+
+// Detached has no context at all: the sleep finding asks for plumbing.
+func Detached() {
+	time.Sleep(time.Millisecond) // want "cannot be cancelled: plumb the request context"
+}
+
+// Spawn's goroutine closure inherits the enclosing context scope.
+func Spawn(ctx context.Context) {
+	go func() {
+		lib.Process(context.TODO()) // want "severs the request context"
+	}()
+}
+
+// Audit's detach is deliberate and carries a reasoned suppression.
+func Audit(ctx context.Context) {
+	//lint:ignore ctxflow the audit write must survive request cancellation
+	lib.Process(context.Background())
+}
+
+// NewRoot creates a root context without one in scope — not a finding:
+// entry points legitimately mint the first context.
+func NewRoot() context.Context {
+	return context.Background()
+}

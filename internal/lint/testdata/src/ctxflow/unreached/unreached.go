@@ -1,0 +1,19 @@
+// Package unreached repeats the violating shapes outside the serving
+// surface: nothing with a server/core path segment calls it, so ctxflow
+// must stay silent — a batch CLI may sleep and mint contexts freely.
+package unreached
+
+import (
+	"context"
+	"time"
+)
+
+// Batch drops its context and sleeps; still not a finding here.
+func Batch(ctx context.Context) {
+	run(context.Background())
+	time.Sleep(time.Millisecond)
+}
+
+func run(ctx context.Context) {
+	_ = ctx
+}

@@ -1,6 +1,9 @@
 // Package driver is the cmd/iltlint golden fixture: one violation per
-// rule, so a full eight-analyzer run exercises the JSON schema, the
-// deterministic ordering, and the fixable flag in one package.
+// rule, so a full thirteen-analyzer run exercises the JSON schema, the
+// deterministic ordering, and the fixable flag in one load. The serving
+// rules (ctxflow, timerleak's driver case) live in the server
+// subpackage; the compiler-fact rules (bce, escape, inline) read the
+// lint.hot manifest beside this file.
 package driver
 
 import (
@@ -66,6 +69,31 @@ type ctr struct{ n int64 }
 func bump(c *ctr) { atomic.AddInt64(&c.n, 1) }
 
 func read(c *ctr) int64 { return c.n }
+
+var sink []float64
+
+// bce: i is unproven, so the index keeps its bounds check (hotIndex is in
+// lint.hot).
+func hotIndex(xs []float64, i int) float64 {
+	return xs[i]
+}
+
+// escape: the slab escapes through the package-level sink.
+func hotEscape(n int) {
+	sink = make([]float64, n)
+}
+
+// inline: recurse can never be inlined (stable reason across toolchains).
+func hotCall(n int) int {
+	return recurse(n)
+}
+
+func recurse(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return n * recurse(n-1)
+}
 
 var _ = fmt.Sprintf
 var _ = math.Pi

@@ -1,0 +1,27 @@
+// Package server carries the driver golden's serving-era violations: its
+// path segment makes everything here server-reachable for ctxflow.
+package server
+
+import (
+	"context"
+	"time"
+)
+
+// ctxflow: Background severs the context already in scope.
+func Handle(ctx context.Context) {
+	process(context.Background())
+	process(ctx)
+}
+
+func process(ctx context.Context) {
+	_ = ctx
+}
+
+// timerleak: the early return drops the ticker.
+func Poll(fail bool) {
+	t := time.NewTicker(time.Second)
+	if fail {
+		return
+	}
+	t.Stop()
+}

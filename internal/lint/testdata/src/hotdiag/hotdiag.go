@@ -1,0 +1,82 @@
+// Package hotdiag exercises the compiler-fact analyzers (bce, escape,
+// inline) against the lint.hot manifest beside it: hotKernel, hotGather
+// and hotScratch are declared hot; coldKernel repeats the same shapes
+// outside the manifest and must stay silent.
+package hotdiag
+
+var sink []float64
+
+// add is far under the inlining budget: its call sites inline, so they
+// are not findings.
+func add(a, b float64) float64 { return a + b }
+
+// big is far over the inlining budget: no call site can inline it.
+func big(x float64) float64 {
+	x = x*1.0000001 + 0.5
+	x = x/1.0000002 - 0.25
+	x = x*1.0000003 + 0.125
+	x = x/1.0000004 - 0.0625
+	x = x*1.0000005 + 0.03125
+	x = x/1.0000006 - 0.015625
+	x = x*1.0000007 + 0.0078125
+	x = x/1.0000008 - 0.00390625
+	x = x*1.0000009 + 0.001953125
+	x = x/1.0000010 - 0.0009765625
+	x = x*1.0000011 + 0.00048828125
+	x = x/1.0000012 - 0.000244140625
+	x = x*1.0000013 + 0.0001220703125
+	x = x/1.0000014 - 0.00006103515625
+	x = x*1.0000015 + 0.000030517578125
+	x = x/1.0000016 - 0.0000152587890625
+	x = x*1.0000017 + 0.00000762939453125
+	x = x/1.0000018 - 0.000003814697265625
+	x = x*1.0000019 + 0.0000019073486328125
+	x = x/1.0000020 - 0.00000095367431640625
+	return x
+}
+
+// hotKernel: the unproven index keeps its bounds check, and the big
+// callee falls out of the budget. The add call inlines: clean.
+func hotKernel(xs []float64, i int) float64 {
+	v := xs[i] // want "bounds check survives in hot function hotKernel"
+	v = add(v, 1)
+	return big(v) // want "call to hotdiag.big is not inlined in hot function hotKernel"
+}
+
+// hotGather: the slab allocation escapes through the package-level sink.
+// The range-indexed stores are BCE-proven: clean.
+func hotGather(n int) {
+	buf := make([]float64, n) // want "heap allocation in hot function hotGather"
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	sink = buf
+}
+
+// hotScratch: the escape is deliberate (the slab outlives the call by
+// design), so it carries a reasoned suppression.
+func hotScratch(n int) []float64 {
+	//lint:ignore escape call-lifetime slab: the caller owns and reuses it
+	s := make([]float64, n)
+	return s
+}
+
+// hotPanicPath: operands boxed for a panic message are not hot-path
+// allocations — the path is already crashing.
+func hotPanicPath(xs []float64, n int) float64 {
+	if len(xs) != n {
+		panic(n)
+	}
+	var t float64
+	for i := range xs {
+		t = add(t, xs[i])
+	}
+	return t
+}
+
+// coldKernel repeats every violating shape outside the manifest: silent.
+func coldKernel(xs []float64, i int) float64 {
+	buf := make([]float64, i)
+	sink = buf
+	return big(xs[i])
+}

@@ -1,0 +1,115 @@
+// Package timerleak exercises the timerleak rule's branch-sensitive
+// must-release semantics: tickers/timers owe a Stop and context cancel
+// funcs owe a call on every path, with the same hand-off discipline as
+// leasepath.
+package timerleak
+
+import (
+	"context"
+	"time"
+)
+
+// The early return drops the ticker.
+func leakTicker(fail bool) {
+	t := time.NewTicker(time.Second) // want "time.NewTicker result is not Stopped on every path"
+	if fail {
+		return
+	}
+	t.Stop()
+}
+
+// Deferred Stop covers every exit: clean.
+func cleanTicker(work func()) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	work()
+}
+
+// The error path forgets cancel.
+func leakCancel(ctx context.Context, fail bool) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second) // want "cancel func from context.WithTimeout is not called on every path"
+	if fail {
+		return use(ctx)
+	}
+	cancel()
+	return nil
+}
+
+// Deferred cancel: clean.
+func cleanCancel(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return use(ctx)
+}
+
+// A deferred closure releasing both obligations: clean.
+func cleanClosure(ctx context.Context) {
+	t := time.NewTimer(time.Second)
+	_, cancel := context.WithCancel(ctx)
+	defer func() {
+		t.Stop()
+		cancel()
+	}()
+	<-t.C
+}
+
+// Both arms of the branch release: clean.
+func branches(ctx context.Context, which bool) error {
+	ctx, cancel := context.WithCancel(ctx)
+	if which {
+		cancel()
+		return nil
+	}
+	defer cancel()
+	return use(ctx)
+}
+
+// Returning the ticker hands ownership to the caller: clean.
+func handOff() *time.Ticker {
+	return time.NewTicker(time.Second)
+}
+
+type poller struct {
+	t      *time.Ticker
+	cancel context.CancelFunc
+}
+
+// Storing into the constructed value is a hand-off — poller's own Close
+// owns the obligations now: clean here.
+func newPoller(ctx context.Context) *poller {
+	_, cancel := context.WithCancel(ctx)
+	return &poller{t: time.NewTicker(time.Second), cancel: cancel}
+}
+
+// Passing the cancel func to a helper is a hand-off: clean.
+func delegate(ctx context.Context, register func(context.CancelFunc)) {
+	_, cancel := context.WithCancel(ctx)
+	register(cancel)
+}
+
+// time.Tick's ticker is unreachable: always a finding.
+func tick() <-chan time.Time {
+	return time.Tick(time.Second) // want "can never be Stopped"
+}
+
+// Discarding the cancel func leaks it on every path.
+func discard(ctx context.Context) context.Context {
+	ctx, _ = context.WithTimeout(ctx, time.Second) // want "cancel func from context.WithTimeout is not called on every path"
+	return ctx
+}
+
+// Suppressed: a deliberate process-lifetime ticker.
+func forever(work func()) {
+	//lint:ignore timerleak process-lifetime ticker, never stopped by design
+	t := time.NewTicker(time.Minute)
+	go func() {
+		for range t.C {
+			work()
+		}
+	}()
+}
+
+func use(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}

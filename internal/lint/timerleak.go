@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TimerLeak is leasepath's serving-era sibling: where a pool lease owes a
+// Put, a time.Ticker owes a Stop and a context.WithCancel/WithTimeout/
+// WithDeadline owes its cancel call — on every path out of the acquiring
+// function. An unstopped ticker leaks a goroutine that fires forever; an
+// uncancelled WithTimeout parks its timer (and everything the context
+// retains) until the deadline even when the work finished early; both are
+// exactly the slow-leak class a long-running daemon (PR 6) cannot afford
+// and a one-shot CLI never noticed.
+//
+// The rule reuses the leasepath walker in timerMode (leasepath.go): the
+// same branch-sensitive must-release semantics, clone-per-arm merging,
+// deferred-closure handling and hand-off discipline, with the acquire/
+// dispose vocabulary swapped. Disposal is t.Stop() or invoking the bound
+// cancel func (directly, deferred, or inside a deferred closure);
+// hand-offs — returning the timer, storing it or the cancel func into a
+// struct/container, passing either to a callee — end tracking, mirroring
+// leasepath's "don't accuse unseen code" stance. time.Tick is reported
+// unconditionally: its ticker is unreachable, so no path can ever stop it.
+var TimerLeak = &Analyzer{
+	Name: "timerleak",
+	Doc:  "flags time.Ticker/time.Timer values and context cancel funcs not Stopped/called on every path, branch-sensitive like leasepath",
+	Run:  runTimerLeak,
+}
+
+func runTimerLeak(pass *Pass) {
+	if pass.Prog == nil {
+		return
+	}
+	pkg := pass.Prog.packageOf(pass.Pkg)
+	if pkg == nil {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lw := newLeaseWalker(pass.Prog, pkg, fd, pass)
+			lw.seedGets = true
+			lw.timerMode = true
+			lw.walk()
+		}
+	}
+}
+
+// timerLeakMsg picks the exit-leak message format for one acquisition
+// source; the two %s/%d verbs are (source, exit line).
+func timerLeakMsg(src string) string {
+	if strings.HasPrefix(src, "context.") {
+		return "the cancel func from %s is not called on every path: the exit at line %d leaks the context's timer and retained values (timerleak contract, DESIGN.md)"
+	}
+	return "the %s result is not Stopped on every path: the exit at line %d leaks its timer goroutine (timerleak contract, DESIGN.md)"
+}
+
+// timerAcquire recognizes a tracked acquisition and reports which result
+// index carries the release obligation.
+func timerAcquire(info *types.Info, call *ast.CallExpr) (src string, result int, ok bool) {
+	pkg, name, ok := pkgFuncOf(info, call)
+	if !ok {
+		return "", 0, false
+	}
+	switch pkg {
+	case "time":
+		if name == "NewTicker" || name == "NewTimer" {
+			return "time." + name, 0, true
+		}
+	case "context":
+		switch name {
+		case "WithCancel", "WithTimeout", "WithDeadline",
+			"WithCancelCause", "WithTimeoutCause", "WithDeadlineCause":
+			return "context." + name, 1, true
+		}
+	}
+	return "", 0, false
+}
+
+// identLease resolves e to a live tracked lease when e is a plain
+// identifier, with no side effects (safe to probe before evaluation).
+func (w *leaseWalker) identLease(e ast.Expr, st *leaseState) int {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return -1
+	}
+	obj := w.pkg.Info.ObjectOf(id)
+	if obj == nil {
+		return -1
+	}
+	if lid, bound := st.bind[obj]; bound {
+		if live, tracked := st.live[lid]; tracked && live {
+			return lid
+		}
+	}
+	return -1
+}
+
+// timerCall is the timerMode body of leaseWalker.call: disposals first
+// (cancel(), t.Stop()), then acquisitions, then generic hand-off of any
+// tracked argument.
+func (w *leaseWalker) timerCall(call *ast.CallExpr, st *leaseState) int {
+	info := w.pkg.Info
+
+	// cancel(): invoking a tracked value discharges its obligation.
+	if id := w.identLease(call.Fun, st); id >= 0 {
+		for _, a := range call.Args {
+			w.expr(a, st)
+		}
+		w.dispose(id, st)
+		return -1
+	}
+	// t.Stop() discharges a ticker/timer. (Reset deliberately does not:
+	// the timer stays armed and still owes its Stop.)
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Stop" {
+		if id := w.identLease(sel.X, st); id >= 0 {
+			for _, a := range call.Args {
+				w.expr(a, st)
+			}
+			w.dispose(id, st)
+			return -1
+		}
+	}
+
+	w.expr(call.Fun, st) // selector bases, inline literals
+
+	if pkg, name, ok := pkgFuncOf(info, call); ok && pkg == "time" && name == "Tick" {
+		if w.pass != nil {
+			w.pass.Report(call.Pos(), nil,
+				"time.Tick's Ticker can never be Stopped: use time.NewTicker with a deferred Stop (timerleak contract, DESIGN.md)")
+		}
+	}
+
+	if src, res, ok := timerAcquire(info, call); ok {
+		for _, a := range call.Args {
+			w.expr(a, st)
+		}
+		if !w.seedGets {
+			return -1
+		}
+		id := w.newLease(call.Pos(), src, st)
+		if res == 0 {
+			return id
+		}
+		w.pendingID, w.pendingResult = id, res
+		return -1
+	}
+
+	// Any other call: a tracked argument is handed off to the callee
+	// (helper shutdowns, cleanup registries) — tracking ends.
+	for _, a := range call.Args {
+		if id := w.expr(a, st); id >= 0 {
+			w.dispose(id, st)
+		}
+	}
+	return -1
+}

@@ -3,6 +3,8 @@ package litho
 import (
 	"math"
 	"math/rand"
+	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/grid"
@@ -344,21 +346,73 @@ func TestEngineBatchDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
-// Engine string round trip, including the "" = default convention the
-// option plumbing (core.Options.Engine, server JobRequest.Engine) relies
-// on.
+// Engine string round trip plus the full rejection surface. ParseEngine
+// is the validation point for every config path (flags,
+// core.Options.Engine, the server's JobRequest.Engine), so the contract
+// is pinned exhaustively: the "" = default convention, exact-match
+// case-sensitive spellings, and an error that names all four valid
+// engines so a typo in any config surface is self-explaining.
 func TestParseEngine(t *testing.T) {
+	valid := []struct {
+		in   string
+		want FFTEngine
+	}{
+		{"", EngineBatch}, // "" = leave-as-default convention
+		{"batch", EngineBatch},
+		{"band", EngineBand},
+		{"band-inverse", EngineBandInverse},
+		{"reference", EngineReference},
+	}
+	for _, tc := range valid {
+		got, err := ParseEngine(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseEngine(%q) = %v, %v; want %v, nil", tc.in, got, err, tc.want)
+		}
+	}
 	for _, e := range []FFTEngine{EngineBatch, EngineBand, EngineBandInverse, EngineReference} {
 		got, err := ParseEngine(e.String())
 		if err != nil || got != e {
-			t.Errorf("ParseEngine(%q) = %v, %v", e.String(), got, err)
+			t.Errorf("round trip ParseEngine(%q) = %v, %v", e.String(), got, err)
 		}
 	}
-	if got, err := ParseEngine(""); err != nil || got != EngineBatch {
-		t.Errorf("ParseEngine(\"\") = %v, %v; want EngineBatch", got, err)
+
+	invalid := []struct{ name, in string }{
+		{"unknown word", "warp"},
+		{"legacy alias", "dense"},
+		{"abbreviation", "ref"},
+		{"capitalized", "Batch"},
+		{"upper case", "BAND"},
+		{"mixed case", "Band-Inverse"},
+		{"upper reference", "REFERENCE"},
+		{"leading space", " batch"},
+		{"trailing space", "batch "},
+		{"inner space", "band inverse"},
+		{"underscore", "band_inverse"},
+		{"no separator", "bandinverse"},
+		{"list", "batch,band"},
+		{"numeric", "0"},
+		{"default keyword", "default"},
 	}
-	if _, err := ParseEngine("warp"); err == nil {
-		t.Error("ParseEngine accepted an unknown engine")
+	for _, tc := range invalid {
+		got, err := ParseEngine(tc.in)
+		if err == nil {
+			t.Errorf("%s: ParseEngine(%q) = %v, accepted; want error", tc.name, tc.in, got)
+			continue
+		}
+		if got != 0 {
+			t.Errorf("%s: ParseEngine(%q) returned engine %v alongside the error", tc.name, tc.in, got)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, strconv.Quote(tc.in)) {
+			t.Errorf("%s: error %q does not echo the rejected input %q", tc.name, msg, tc.in)
+		}
+		// The error must name every valid spelling: it doubles as the help
+		// text on each config surface.
+		for _, want := range []string{"batch", "band", "band-inverse", "reference"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("%s: error %q does not name valid engine %q", tc.name, msg, want)
+			}
+		}
 	}
 }
 

@@ -133,8 +133,9 @@ type Sim struct {
 	ownPlans   fft.PlanCache
 	planBuilds atomic.Int32
 
-	cscratch grid.CMatPool // complex per-worker scratch (amplitudes, spectra)
-	mscratch grid.MatPool  // real per-kernel intensity contributions
+	cscratch grid.CMatPool      // complex per-worker scratch (amplitudes, spectra)
+	mscratch grid.MatPool       // real per-kernel intensity contributions
+	kscratch grid.CMatSlicePool // per-call []*CMat work lists (patches, amp chunks)
 }
 
 // NewSim creates a simulator over a built kernel model.
@@ -467,6 +468,7 @@ func (s *Sim) ForwardEq7(mask *grid.Mat, scale int, ks *optics.KernelSet, dose f
 // the result is bit-identical for every worker count.
 func (s *Sim) Gradient(f *Field, dLdI *grid.Mat) (*grid.Mat, error) {
 	if dLdI.W != f.M || dLdI.H != f.M {
+		//lint:ignore escape error-path boxing of the size operands into the fmt args; never reached by a converging optimization
 		return nil, fmt.Errorf("litho: dLdI size %dx%d != field size %d", dLdI.W, dLdI.H, f.M)
 	}
 	if f.Amps == nil && (f.Spec.W != f.M || f.Spec.H != f.M) {
@@ -492,7 +494,7 @@ func (s *Sim) Gradient(f *Field, dLdI *grid.Mat) (*grid.Mat, error) {
 	if f.Amps == nil {
 		s.Recorder.Add("litho.kernel_ffts", int64(nk))
 	}
-	patches := make([]*grid.CMat, nk)
+	patchesp, patches := s.kscratch.Get(nk)
 	if f.Amps == nil && s.Engine == EngineBatch && s.batchAdjointPatches(f, plan, dLdI, patches, ampScale, workers) {
 		// Amplitudes recomputed in batched chunks, patches filled.
 	} else {
@@ -534,6 +536,7 @@ func (s *Sim) Gradient(f *Field, dLdI *grid.Mat) (*grid.Mat, error) {
 		fft.AddKernelPatch(acc, patch)
 		s.cscratch.Put(patch)
 	}
+	s.kscratch.Put(patchesp)
 	var out *grid.Mat
 	if useBand {
 		img := s.cscratch.Get(f.M, f.M)
@@ -582,7 +585,7 @@ func (s *Sim) batchAdjointPatches(f *Field, plan *fft.Plan2, dLdI *grid.Mat, pat
 	if chunk > nk {
 		chunk = nk
 	}
-	amps := make([]*grid.CMat, chunk)
+	ampsp, amps := s.kscratch.Get(chunk)
 	for i := range amps {
 		amps[i] = s.cscratch.Get(f.M, f.M)
 	}
@@ -590,6 +593,7 @@ func (s *Sim) batchAdjointPatches(f *Field, plan *fft.Plan2, dLdI *grid.Mat, pat
 		for i := range amps {
 			s.cscratch.Put(amps[i])
 		}
+		s.kscratch.Put(ampsp)
 	}()
 	for c0 := 0; c0 < nk; c0 += chunk {
 		c1 := c0 + chunk
