@@ -1,7 +1,7 @@
 GO ?= go
 BIN_DIR := bin
 
-.PHONY: all build test race trace-smoke trace-stat server-smoke server-race bench bench-workers bench-fft bench-fft-smoke bench-compare vet lint lint-perf lint-perf-baseline bench-lint check
+.PHONY: all build test race trace-smoke trace-stat server-smoke server-race bench bench-workers bench-fft bench-fft-smoke bench-compare vet lint lint-perf lint-perf-baseline lint-conc bench-lint check
 
 all: build test
 
@@ -75,10 +75,11 @@ server-race:
 vet:
 	$(GO) vet ./...
 
-# Static-analysis lane: the thirteen repo-specific analyzers (floatcmp,
+# Static-analysis lane: the seventeen repo-specific analyzers (floatcmp,
 # maporder, scratchalias, hotalloc, errcheck, gridres, leasepath,
-# atomicfield, plus the perf-invariant set: bce, escape, inline, ctxflow,
-# timerleak) over every package. The compiler-fact rules read the
+# atomicfield, the perf-invariant set: bce, escape, inline, ctxflow,
+# timerleak, plus the concurrency-protocol set: lockorder, chanprotocol,
+# wgmisuse, gorolife) over every package. The compiler-fact rules read the
 # checked-in lint.hot manifest and ratchet through lint-perf.baseline —
 # the run fails only on findings beyond the recorded debt. The binary is
 # built once into bin/ (the go build cache makes rebuilds near-free)
@@ -110,7 +111,16 @@ lint-perf-baseline: $(ILTLINT)
 	$(ILTLINT) -rules bce,escape,inline,ctxflow,timerleak \
 		-baseline-write lint-perf.baseline ./...
 
-# Lint-perf trajectory: median wall time of the full thirteen-rule suite
+# Concurrency-protocol lane on its own: the four deadlock/lifetime rules
+# (lockorder, chanprotocol, wgmisuse, gorolife) over every package. The
+# tree ships clean, so there is deliberately no baseline file — any
+# finding (a seeded lock-order inversion prints its full cycle with both
+# witness positions) fails the lane outright. See DESIGN.md,
+# "Concurrency invariants".
+lint-conc: $(ILTLINT)
+	$(ILTLINT) -rules lockorder,chanprotocol,wgmisuse,gorolife ./...
+
+# Lint-perf trajectory: median wall time of the full seventeen-rule suite
 # over ./... at workers=1 vs workers=GOMAXPROCS, recorded in BENCH_LINT.json.
 bench-lint: $(ILTLINT)
 	$(ILTLINT) -selfbench BENCH_LINT.json ./...

@@ -179,7 +179,7 @@ func ruleCounts(diags []lint.Diagnostic) string {
 		counts[d.Rule]++
 	}
 	names := append([]string(nil), lint.RuleNames()...)
-	names = append(names, "ignore")
+	names = append(names, "hotmanifest", "ignore")
 	out := ""
 	for _, name := range names {
 		if counts[name] == 0 {

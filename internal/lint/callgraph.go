@@ -76,6 +76,10 @@ type FuncInfo struct {
 
 	// Summary holds the bottom-up facts; populated by computeSummaries.
 	Summary *Summary
+	// Conc holds the concurrency-protocol facts (locks acquired/held,
+	// WaitGroup parameter operations, unbounded loops); populated by
+	// computeConcSummaries. See concsummary.go.
+	Conc *ConcSummary
 }
 
 // A Program is the interprocedural view of one analysis run: every loaded
@@ -109,12 +113,29 @@ type Program struct {
 	// positions where it is accessed through a sync/atomic call, across
 	// the whole package set. See atomicfield.go.
 	AtomicFields map[string][]token.Position
+
+	// ConcFindings holds the precomputed lockorder diagnostics (lock-order
+	// inversion cycles, locks held across blocking operations), keyed by
+	// the import path of the package whose pass reports them. The lock
+	// graph is global — an inversion can span packages — so the findings
+	// are computed once, serially, before the parallel passes start; each
+	// pass only copies out its own package's slice, which keeps the output
+	// deterministic at any worker count. See concsummary.go.
+	ConcFindings map[string][]concFinding
+
+	// CondLockers maps a sync.Cond's stable key to its locker's lock key,
+	// resolved from sync.NewCond(&mu) sites across the package set:
+	// Cond.Wait atomically releases its own locker, so that lock is
+	// exempt from the held-across-blocking check.
+	CondLockers map[string]string
 }
 
 // BuildProgram constructs the call graph and computes summaries for the
 // loaded packages. It is deterministic: iteration over packages and files
-// follows load order, and every map consumed for output is sorted.
-func BuildProgram(pkgs []*Package, fset *token.FileSet) *Program {
+// follows load order, and every map consumed for output is sorted. dir is
+// the base directory of the run, used to relativize the source positions
+// embedded in lock-order cycle messages.
+func BuildProgram(pkgs []*Package, fset *token.FileSet, dir string) *Program {
 	prog := &Program{
 		Fset:               fset,
 		Pkgs:               pkgs,
@@ -171,6 +192,8 @@ func BuildProgram(pkgs []*Package, fset *token.FileSet) *Program {
 	computeSummaries(prog)
 	prog.computeGoroutineReachable()
 	prog.computeServerReachable()
+	computeConcSummaries(prog)
+	collectConcFindings(prog, dir)
 	return prog
 }
 

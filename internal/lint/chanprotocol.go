@@ -1,0 +1,462 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ChanProtocol enforces the channel conventions the serving arc depends
+// on (DESIGN.md, "Concurrency invariants"):
+//
+//   - an unbuffered channel send on a server-reachable path must carry an
+//     escape — a `default` clause or a ctx.Done()/quit-channel case in the
+//     enclosing select. A bare send blocks the handler forever the moment
+//     its receiver is gone; on the serving arc that is a leaked goroutine
+//     per request.
+//   - a channel is closed exactly once, by its owner. Two closes on the
+//     same path (must-semantics: both arms of a branch closing is fine,
+//     a straight-line second close is not) panic at runtime; a close of a
+//     bidirectional channel parameter closes a channel the function was
+//     handed, not one it owns — the owner keeps `chan T` and hands
+//     receivers `<-chan T`, or the closer declares ownership by taking
+//     `chan<- T`.
+//   - a send after a close on the same path panics unconditionally.
+//
+// Bufferedness is resolved from make-sites within the analyzed package:
+// a channel object every observed make-site declares unbuffered (no
+// capacity, or constant 0) is unbuffered; conflicting or non-constant
+// sites make it unknown and exempt. Closes deferred to function exit are
+// not path-tracked — `defer close(done)` is the ownership idiom, not a
+// hazard.
+var ChanProtocol = &Analyzer{
+	Name: "chanprotocol",
+	Doc:  "flags unbuffered sends without a default/ctx.Done() escape on server-reachable paths, double-close and send-after-close on one path, and close of a bidirectional channel parameter (ownership heuristic)",
+	Run:  runChanProtocol,
+}
+
+func runChanProtocol(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil {
+		return
+	}
+	pkg := prog.packageOf(pass.Pkg)
+	if pkg == nil {
+		return
+	}
+	buf := scanChanBuffering(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fi := prog.FuncOf(pkg, fd)
+			if fi != nil && prog.ServerReachable[fi.Key] {
+				checkUnbufferedSends(pass, fd, buf)
+			}
+			cw := &closeWalker{pass: pass, fd: fd}
+			cw.stmt(fd.Body, map[types.Object]token.Pos{})
+		}
+	}
+}
+
+// chanObjOf resolves the channel operand to its variable or field object.
+func chanObjOf(info *types.Info, e ast.Expr) types.Object {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(e.Sel)
+	}
+	return nil
+}
+
+// bufState is what the make-sites of one package say about a channel.
+type bufState int
+
+const (
+	bufUnbuffered bufState = iota + 1
+	bufBuffered
+	bufUnknown
+)
+
+// scanChanBuffering maps channel objects to their observed bufferedness:
+// every assignment, declaration and composite-literal field whose value is
+// a make(chan ...) site votes; disagreeing votes make the object unknown.
+func scanChanBuffering(pass *Pass) map[types.Object]bufState {
+	out := map[types.Object]bufState{}
+	vote := func(obj types.Object, s bufState) {
+		if obj == nil || s == 0 {
+			return
+		}
+		if prev, ok := out[obj]; ok && prev != s {
+			out[obj] = bufUnknown
+			return
+		}
+		out[obj] = s
+	}
+	makeState := func(e ast.Expr) bufState {
+		call, ok := unparen(e).(*ast.CallExpr)
+		if !ok {
+			return 0
+		}
+		id, ok := unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" || len(call.Args) == 0 {
+			return 0
+		}
+		if _, isChan := pass.TypeOf(call.Args[0]).(*types.Chan); !isChan {
+			return 0
+		}
+		if len(call.Args) == 1 {
+			return bufUnbuffered
+		}
+		tv, ok := pass.Info.Types[call.Args[1]]
+		if !ok || tv.Value == nil {
+			return bufUnknown
+		}
+		if tv.Value.String() == "0" {
+			return bufUnbuffered
+		}
+		return bufBuffered
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i := range n.Lhs {
+					vote(chanObjOf(pass.Info, n.Lhs[i]), makeState(n.Rhs[i]))
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) != len(n.Values) {
+					return true
+				}
+				for i := range n.Names {
+					vote(pass.Info.ObjectOf(n.Names[i]), makeState(n.Values[i]))
+				}
+			case *ast.KeyValueExpr:
+				if key, ok := n.Key.(*ast.Ident); ok {
+					vote(pass.Info.ObjectOf(key), makeState(n.Value))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkUnbufferedSends reports sends on known-unbuffered channels in one
+// server-reachable function unless the enclosing select carries an escape.
+// Sends in a select clause body are ordinary bare sends — only the comm
+// position is protected by the select.
+func checkUnbufferedSends(pass *Pass, fd *ast.FuncDecl, buf map[types.Object]bufState) {
+	report := func(send *ast.SendStmt) {
+		obj := chanObjOf(pass.Info, send.Chan)
+		if obj == nil || buf[obj] != bufUnbuffered {
+			return
+		}
+		pass.Report(send.Arrow, nil,
+			"send on unbuffered channel %s on a server-reachable path has no default or ctx.Done() escape: a missing receiver blocks this goroutine forever — select with a cancellation case, or buffer the channel (chanprotocol contract, DESIGN.md)",
+			exprText(send.Chan))
+	}
+	var visit func(n ast.Node)
+	visit = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.SelectStmt:
+				esc := selectHasEscape(pass, m)
+				for _, c := range m.Body.List {
+					cc, ok := c.(*ast.CommClause)
+					if !ok {
+						continue
+					}
+					if send, isSend := cc.Comm.(*ast.SendStmt); isSend && !esc {
+						report(send)
+					}
+					for _, b := range cc.Body {
+						visit(b)
+					}
+				}
+				return false
+			case *ast.SendStmt:
+				report(m)
+				return true
+			}
+			return true
+		})
+	}
+	visit(fd.Body)
+}
+
+// selectHasEscape reports whether sel can always make progress: a default
+// clause, or a receive case on a cancellation signal (ctx.Done(), or a
+// channel whose name says done/quit/stop/cancel/closing).
+func selectHasEscape(pass *Pass, sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default
+		}
+		if recvEscapeChan(pass, cc.Comm) {
+			return true
+		}
+	}
+	return false
+}
+
+// recvEscapeChan reports whether comm is a receive from a cancellation
+// channel.
+func recvEscapeChan(pass *Pass, comm ast.Stmt) bool {
+	var recv ast.Expr
+	switch c := comm.(type) {
+	case *ast.ExprStmt:
+		recv = c.X
+	case *ast.AssignStmt:
+		if len(c.Rhs) == 1 {
+			recv = c.Rhs[0]
+		}
+	}
+	u, ok := unparen(recv).(*ast.UnaryExpr)
+	if !ok || u.Op != token.ARROW {
+		return false
+	}
+	switch x := unparen(u.X).(type) {
+	case *ast.CallExpr:
+		// <-ctx.Done() and friends: any method named Done on any receiver.
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+	case *ast.Ident:
+		return isCancelName(x.Name)
+	case *ast.SelectorExpr:
+		return isCancelName(x.Sel.Name)
+	}
+	return false
+}
+
+func isCancelName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, w := range []string{"done", "quit", "stop", "cancel", "closing", "shutdown"} {
+		if strings.Contains(lower, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// A closeWalker tracks which channels are must-closed along the current
+// path: closed on every way to reach this point. Branch arms walk clones;
+// a channel joins the post-branch set only when every arm closed it, so
+// an if/else that closes on exactly one side stays clean.
+type closeWalker struct {
+	pass *Pass
+	fd   *ast.FuncDecl
+}
+
+func cloneClosed(m map[types.Object]token.Pos) map[types.Object]token.Pos {
+	c := make(map[types.Object]token.Pos, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// mergeClosed folds the arm results into base: an object closed in every
+// arm (and absent from base) becomes closed after the join.
+func mergeClosed(base map[types.Object]token.Pos, arms []map[types.Object]token.Pos) {
+	if len(arms) == 0 {
+		return
+	}
+	for obj, pos := range arms[0] {
+		if _, ok := base[obj]; ok {
+			continue
+		}
+		inAll := true
+		for _, a := range arms[1:] {
+			if _, ok := a[obj]; !ok {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			base[obj] = pos
+		}
+	}
+}
+
+func (w *closeWalker) stmt(s ast.Stmt, closed map[types.Object]token.Pos) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			w.stmt(sub, closed)
+		}
+	case *ast.ExprStmt:
+		w.expr(s.X, closed)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.expr(r, closed)
+		}
+		// Reassigning a closed channel revives it: make(chan) on the rhs
+		// means the old closed value is gone.
+		for i, l := range s.Lhs {
+			if i < len(s.Rhs) {
+				if obj := chanObjOf(w.pass.Info, l); obj != nil {
+					delete(closed, obj)
+				}
+			}
+		}
+	case *ast.SendStmt:
+		if obj := chanObjOf(w.pass.Info, s.Chan); obj != nil {
+			if _, isClosed := closed[obj]; isClosed {
+				w.pass.Report(s.Arrow, nil,
+					"send on channel %s after it is closed on this path: panics at runtime — the owner closes only after the last send (chanprotocol contract, DESIGN.md)",
+					exprText(s.Chan))
+			}
+		}
+		w.expr(s.Value, closed)
+	case *ast.IfStmt:
+		w.stmt(s.Init, closed)
+		w.expr(s.Cond, closed)
+		thenC := cloneClosed(closed)
+		w.stmt(s.Body, thenC)
+		if s.Else != nil {
+			elseC := cloneClosed(closed)
+			w.stmt(s.Else, elseC)
+			mergeClosed(closed, []map[types.Object]token.Pos{thenC, elseC})
+		}
+	case *ast.ForStmt:
+		w.stmt(s.Init, closed)
+		w.expr(s.Cond, closed)
+		body := cloneClosed(closed)
+		w.stmt(s.Body, body)
+		w.stmt(s.Post, body)
+	case *ast.RangeStmt:
+		w.expr(s.X, closed)
+		w.stmt(s.Body, cloneClosed(closed))
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var body *ast.BlockStmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			w.stmt(sw.Init, closed)
+			w.expr(sw.Tag, closed)
+			body = sw.Body
+		case *ast.TypeSwitchStmt:
+			w.stmt(sw.Init, closed)
+			body = sw.Body
+		case *ast.SelectStmt:
+			body = sw.Body
+		}
+		for _, c := range body.List {
+			arm := cloneClosed(closed)
+			switch cc := c.(type) {
+			case *ast.CaseClause:
+				for _, sub := range cc.Body {
+					w.stmt(sub, arm)
+				}
+			case *ast.CommClause:
+				w.stmt(cc.Comm, arm)
+				for _, sub := range cc.Body {
+					w.stmt(sub, arm)
+				}
+			}
+		}
+	case *ast.GoStmt:
+		// The goroutine observes the closes that happened before the spawn;
+		// its own closes do not order against the spawner's continuation.
+		if lit, ok := unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.stmt(lit.Body, cloneClosed(closed))
+		} else {
+			for _, a := range s.Call.Args {
+				w.expr(a, closed)
+			}
+		}
+	case *ast.DeferStmt:
+		// `defer close(done)` is the ownership idiom — it runs at exit,
+		// after every path-tracked statement, so it is not path-tracked.
+		for _, a := range s.Call.Args {
+			w.expr(a, closed)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r, closed)
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, closed)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, closed)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, closed)
+	}
+}
+
+func (w *closeWalker) expr(e ast.Expr, closed map[types.Object]token.Pos) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if _, isBuiltin := w.pass.Info.ObjectOf(id).(*types.Builtin); isBuiltin {
+					w.close(n, closed)
+					return false
+				}
+			}
+			return true
+		case *ast.FuncLit:
+			// Execution time of a stored closure is unknown; its closes do
+			// not flow back.
+			w.stmt(n.Body, cloneClosed(closed))
+			return false
+		}
+		return true
+	})
+}
+
+// close handles one close(ch) call: double-close on the path, then the
+// ownership heuristic for bidirectional channel parameters.
+func (w *closeWalker) close(call *ast.CallExpr, closed map[types.Object]token.Pos) {
+	arg := call.Args[0]
+	obj := chanObjOf(w.pass.Info, arg)
+	if obj == nil {
+		return
+	}
+	if _, isClosed := closed[obj]; isClosed {
+		w.pass.Report(call.Pos(), nil,
+			"second close of channel %s on this path: close panics on a closed channel — a channel is closed exactly once, by its owner (chanprotocol contract, DESIGN.md)",
+			exprText(arg))
+	} else {
+		closed[obj] = call.Pos()
+	}
+	if w.isBidiParam(obj) {
+		w.pass.Report(call.Pos(), nil,
+			"close of bidirectional channel parameter %s: the callee does not own a channel it was handed — the owner should pass receivers <-chan, or this signature should declare ownership with chan<- (chanprotocol contract, DESIGN.md)",
+			exprText(arg))
+	}
+}
+
+// isBidiParam reports whether obj is a parameter of the walked function
+// with an unrestricted (bidirectional) channel type.
+func (w *closeWalker) isBidiParam(obj types.Object) bool {
+	if w.fd == nil || paramIndex(w.pass.Info, w.fd, obj) < 0 {
+		return false
+	}
+	ch, ok := obj.Type().Underlying().(*types.Chan)
+	return ok && ch.Dir() == types.SendRecv
+}

@@ -4,7 +4,9 @@ import (
 	"bufio"
 	"fmt"
 	"go/ast"
+	"go/token"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -27,14 +29,24 @@ import (
 // "Performance invariants".
 
 // A HotManifest is the parsed lint.hot file: per import path, the set of
-// declared-hot function names ("*" marks the whole package).
+// declared-hot function names ("*" marks the whole package). The flat
+// entries list keeps source lines so rot — an entry no longer naming a
+// live function — can be reported at the manifest line that decayed.
 type HotManifest struct {
-	pkgs map[string]map[string]bool
+	name    string
+	pkgs    map[string]map[string]bool
+	entries []hotEntry
+}
+
+// A hotEntry is one non-comment manifest line.
+type hotEntry struct {
+	path, fn string
+	line     int
 }
 
 // ParseHotManifest reads manifest lines from src; name is used in errors.
 func ParseHotManifest(src []byte, name string) (*HotManifest, error) {
-	m := &HotManifest{pkgs: map[string]map[string]bool{}}
+	m := &HotManifest{name: name, pkgs: map[string]map[string]bool{}}
 	sc := bufio.NewScanner(strings.NewReader(string(src)))
 	for ln := 1; sc.Scan(); ln++ {
 		line := strings.TrimSpace(sc.Text())
@@ -50,11 +62,55 @@ func ParseHotManifest(src []byte, name string) (*HotManifest, error) {
 			m.pkgs[path] = map[string]bool{}
 		}
 		m.pkgs[path][fn] = true
+		m.entries = append(m.entries, hotEntry{path: path, fn: fn, line: ln})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("%s: %v", name, err)
 	}
 	return m, nil
+}
+
+// rotDiagnostics checks every manifest entry against the loaded packages
+// and reports the ones that no longer resolve to a live function. A hot
+// region that is renamed or deleted silently drops out of the bce/escape/
+// inline ratchet; the "hotmanifest" diagnostic makes that decay loud at
+// the manifest line that went stale. Entries whose import path is not
+// among the loaded packages are skipped — a narrowed pattern is not rot —
+// as are "*" entries on loaded packages (the whole package is the region).
+func rotDiagnostics(m *HotManifest, pkgs []*Package) []Diagnostic {
+	loaded := map[string]*Package{}
+	for _, p := range pkgs {
+		loaded[p.Path] = p
+	}
+	file := m.name
+	if abs, err := filepath.Abs(file); err == nil {
+		file = abs
+	}
+	var out []Diagnostic
+	for _, e := range m.entries {
+		pkg, ok := loaded[e.path]
+		if !ok || e.fn == "*" {
+			continue
+		}
+		found := false
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, isFn := decl.(*ast.FuncDecl); isFn && declName(fd) == e.fn {
+					found = true
+				}
+			}
+		}
+		if !found {
+			out = append(out, Diagnostic{
+				Pos:  token.Position{Filename: file, Line: e.line, Column: 1},
+				Rule: "hotmanifest",
+				Message: fmt.Sprintf(
+					"hot manifest entry %q names no function in %s: the hot region was renamed or deleted and has silently left the bce/escape/inline ratchet — update or remove the entry (hotmanifest)",
+					e.fn, e.path),
+			})
+		}
+	}
+	return out
 }
 
 // LoadHotManifestFile parses the manifest at path. A missing file returns

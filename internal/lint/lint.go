@@ -35,11 +35,29 @@
 //     time.Sleep on server/core-reachable call paths
 //   - timerleak     — tickers, timers and context cancel funcs must be
 //     Stopped/called on every path, branch-sensitive like leasepath
+//   - lockorder     — no lock-order inversion cycles anywhere in the
+//     module (potential deadlocks, reported with the full cycle and a
+//     witness position per edge), and no lock held across a blocking
+//     operation on a server-reachable path
+//   - chanprotocol  — unbuffered sends on server-reachable paths need a
+//     default/ctx.Done() escape; a channel is closed once, by its owner,
+//     and never sent on after a close on the same path
+//   - wgmisuse      — no WaitGroup.Add inside the spawned goroutine or
+//     racing an async Wait, and no lock/WaitGroup copied by value into a
+//     callee that synchronizes on it (beyond vet's copylocks)
+//   - gorolife      — goroutines spawned on server-reachable paths must
+//     have a bounded lifetime: an exit tied to ctx.Done(), a quit-channel
+//     close, or a loop bounded by construction
 //
 // gridres, leasepath and atomicfield are interprocedural: they consult a
 // package-set call graph and bottom-up per-function summaries
 // (callgraph.go, summary.go) built once per run and shared through
 // Pass.Prog; ctxflow reuses the same graph for server-reachability. The
+// concurrency-protocol layer (lockorder, chanprotocol, wgmisuse,
+// gorolife) adds a second summary pass over the same SCC order —
+// per-function lock/WaitGroup/lifetime facts (concsummary.go) folded into
+// a global lock-order graph whose findings are precomputed before the
+// parallel passes start, preserving output determinism. The
 // bce/escape/inline trio reads a second fact source entirely — the
 // compiler's own -m/-d=ssa/check_bce diagnostic stream (gcdiag.go),
 // scoped by the checked-in lint.hot manifest (hotmanifest.go) and held in
@@ -74,7 +92,8 @@ type Analyzer struct {
 // All is the registry of analyzers shipped with the suite, in the order
 // they run. cmd/iltlint selects from this set with -rules.
 var All = []*Analyzer{FloatCmp, MapOrder, ScratchAlias, HotAlloc, ErrCheck, GridRes, LeasePath, AtomicField,
-	BCE, Escape, Inline, CtxFlow, TimerLeak}
+	BCE, Escape, Inline, CtxFlow, TimerLeak,
+	LockOrder, ChanProtocol, WGMisuse, GoroLife}
 
 // Lookup resolves a comma-separated rule list against the registry.
 func Lookup(rules string) ([]*Analyzer, error) {

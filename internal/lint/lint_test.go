@@ -146,6 +146,58 @@ func TestCtxFlowFixture(t *testing.T) {
 
 func TestTimerLeakFixture(t *testing.T) { testFixture(t, TimerLeak, "testdata/src/timerleak") }
 
+// TestLockOrderFixture drives the lock-order graph end to end: the seeded
+// A/B inversion cycle, a self-deadlock through a lock helper, the
+// held-across-blocking findings scoped to the server subpackage, and the
+// sync.Cond locker exemption.
+func TestLockOrderFixture(t *testing.T) {
+	testFixturePatterns(t, []*Analyzer{LockOrder}, "testdata/src/lockorder", "./...")
+}
+
+// TestLockOrderCycleMessage pins the acceptance shape of a cycle report:
+// the full cycle with one relativized witness position per edge —
+// "A -> B at file:line, B -> A at file:line".
+func TestLockOrderCycleMessage(t *testing.T) {
+	res, err := Run(Options{Dir: "testdata/src/lockorder", Patterns: []string{"./..."}, Analyzers: []*Analyzer{LockOrder}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycleRe := regexp.MustCompile(
+		`lock-order inversion \(potential deadlock\): ` +
+			`lockorder\.\(A\)\.mu -> lockorder\.\(B\)\.mu at lockorder\.go:\d+, ` +
+			`lockorder\.\(B\)\.mu -> lockorder\.\(A\)\.mu at lockorder\.go:\d+`)
+	found := false
+	for _, d := range res.Diags {
+		if cycleRe.MatchString(d.Message) {
+			found = true
+		}
+		if strings.Contains(d.Message, string(filepath.Separator)+"root"+string(filepath.Separator)) {
+			t.Errorf("cycle message leaks an absolute path: %s", d.Message)
+		}
+	}
+	if !found {
+		t.Errorf("no diagnostic matched the full-cycle format %q; got:\n%v", cycleRe, res.Diags)
+	}
+}
+
+// TestChanProtocolFixture covers the close discipline (double-close,
+// send-after-close, parameter-close ownership) everywhere and the
+// unbuffered-send escapes on the server subpackage.
+func TestChanProtocolFixture(t *testing.T) {
+	testFixturePatterns(t, []*Analyzer{ChanProtocol}, "testdata/src/chanprotocol", "./...")
+}
+
+// TestWGMisuseFixture covers Add-in-goroutine (direct and through a
+// callee summary), Add racing an async Wait, and sync state copied into
+// callees that lock it.
+func TestWGMisuseFixture(t *testing.T) { testFixture(t, WGMisuse, "testdata/src/wgmisuse") }
+
+// TestGoroLifeFixture covers unbounded spawns (closure, named target, and
+// through a wrapper) on the serving surface and their silence off it.
+func TestGoroLifeFixture(t *testing.T) {
+	testFixturePatterns(t, []*Analyzer{GoroLife}, "testdata/src/gorolife", "./...")
+}
+
 // TestInterprocFixture loads a two-package fixture in one run: the
 // findings in package b exist only because summaries computed for package
 // a (release chains, result resolution deltas, same-res constraints)
@@ -176,7 +228,7 @@ func TestWorkersDeterminism(t *testing.T) {
 	}
 }
 
-// TestDriverJSONGolden runs the full thirteen-analyzer suite over the
+// TestDriverJSONGolden runs the full seventeen-analyzer suite over the
 // driver fixture — one violation per rule — and pins the -json byte
 // stream: the schema, the (file, line, col, rule) ordering, and
 // run-to-run determinism.
@@ -220,6 +272,42 @@ func TestDriverJSONGolden(t *testing.T) {
 	if !bytes.Equal(first, wantBytes) {
 		t.Errorf("JSON output diverged from %s (re-run with -update if intended):\ngot:\n%s\nwant:\n%s",
 			golden, first, wantBytes)
+	}
+}
+
+// TestHotManifestRot seeds a manifest whose last entry names a function
+// the driver fixture does not declare and pins the runner-level
+// diagnostic: the rule, the manifest line it lands on, and the decayed
+// name in the message. The live entry and the skipped foreign-path entry
+// stay silent.
+func TestHotManifestRot(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "lint.hot")
+	src := "# seeded rot below\n" +
+		"repro/internal/lint/testdata/src/driver hotIndex\n" +
+		"repro/internal/unloaded/pkg anything\n" +
+		"repro/internal/lint/testdata/src/driver vanishedKernel\n"
+	if err := os.WriteFile(manifest, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Options{Dir: "testdata/src/driver", Patterns: []string{"./..."}, HotManifest: manifest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rot []Diagnostic
+	for _, d := range res.Diags {
+		if d.Rule == "hotmanifest" {
+			rot = append(rot, d)
+		}
+	}
+	if len(rot) != 1 {
+		t.Fatalf("want exactly one hotmanifest diagnostic, got %d: %+v", len(rot), rot)
+	}
+	if !strings.Contains(rot[0].Message, `"vanishedKernel"`) {
+		t.Errorf("message does not name the rotten entry: %s", rot[0].Message)
+	}
+	if rot[0].Pos.Line != 4 {
+		t.Errorf("rot reported at manifest line %d, want 4", rot[0].Pos.Line)
 	}
 }
 

@@ -1,0 +1,55 @@
+package lint
+
+// LockOrder enforces the lock-discipline half of the concurrency-protocol
+// layer. All the real work — per-function lock-acquisition summaries
+// folded bottom-up over the Tarjan SCCs, the global lock-order graph, the
+// inversion-cycle search and the held-across-blocking scan — happens once,
+// serially, in concsummary.go while the Program is built: the lock graph
+// is global (an inversion can span packages), so computing it inside the
+// parallel per-package passes would either duplicate the work per worker
+// or race on shared state. Each pass therefore only emits the findings
+// precomputed for its package, which keeps `-json` output byte-identical
+// at any `-workers` setting.
+//
+// Two findings:
+//
+//   - lock-order inversion: two (or more) locks are acquired in opposing
+//     orders somewhere in the module — a potential deadlock the race
+//     detector only sees when a test happens to interleave the two paths.
+//     The message prints the full cycle with one witness position per
+//     edge: "A -> B at file:line, B -> A at file:line". A self-edge
+//     (acquiring a lock already held, including a recursive RLock, which
+//     deadlocks against a queued writer) is reported separately.
+//   - lock held across a blocking operation on a server-reachable path:
+//     a channel send/receive, a default-less select, sync.Cond.Wait /
+//     WaitGroup.Wait, or recognizable network/file I/O executed with a
+//     mutex held. A blocked holder stalls every other acquirer — on the
+//     serving arc that turns one slow peer into a daemon-wide stall.
+//
+// Locks are identified by stable source paths (field, package-level var,
+// embedded type, or function-local), deliberately conflating instances of
+// the same field: a per-object lock in a pool still documents one
+// acquisition order worth auditing. Deliberate exceptions are recorded
+// with //lint:ignore lockorder <reason> at the witness site.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "flags lock-order inversion cycles across the module and locks held across blocking operations (channel ops, cond/WaitGroup waits, network/file I/O) on server-reachable paths",
+	Run:  runLockOrder,
+}
+
+func runLockOrder(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil || prog.ConcFindings == nil {
+		return
+	}
+	pkg := prog.packageOf(pass.Pkg)
+	if pkg == nil {
+		return
+	}
+	for _, f := range prog.ConcFindings[pkg.Path] {
+		if f.rule != "lockorder" {
+			continue
+		}
+		pass.Report(f.pos, nil, "%s", f.msg)
+	}
+}

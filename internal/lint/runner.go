@@ -67,12 +67,15 @@ func Run(opts Options) (*Result, error) {
 
 	// The interprocedural substrate is built once, serially, and shared
 	// read-only by every pass.
-	prog := BuildProgram(pkgs, fset)
+	prog := BuildProgram(pkgs, fset, opts.Dir)
 
 	// The compiler-fact substrate (gcdiag.go) is loaded only when a gc
 	// analyzer is selected AND a lint.hot manifest is present: compiling
 	// the hot packages costs real wall time, and a run without bce/escape/
-	// inline must not pay it.
+	// inline must not pay it. Rot in the manifest (entries that stopped
+	// resolving to a live function) is reported here too, as runner-level
+	// "hotmanifest" diagnostics — like "ignore", it is not an analyzer.
+	var extraDiags []Diagnostic
 	if needsGCFacts(analyzers) {
 		hotPath := opts.HotManifest
 		explicit := hotPath != ""
@@ -87,6 +90,7 @@ func Run(opts Options) (*Result, error) {
 			return nil, fmt.Errorf("hot manifest %s does not exist", hotPath)
 		}
 		if hot != nil {
+			extraDiags = rotDiagnostics(hot, pkgs)
 			facts, err := LoadGCDiagnostics(pkgs, hot, workers)
 			if err != nil {
 				return nil, err
@@ -125,6 +129,7 @@ func Run(opts Options) (*Result, error) {
 		diags = append(diags, perPkgDiags[i]...)
 		ignores = append(ignores, perPkgIgnores[i]...)
 	}
+	diags = append(diags, extraDiags...)
 
 	diags = applyIgnores(diags, ignores)
 	relativize(diags, opts.Dir)

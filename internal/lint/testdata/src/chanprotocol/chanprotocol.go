@@ -1,0 +1,73 @@
+// Package chanprotocol seeds the close-discipline fixture: double-close
+// and send-after-close on one path, the close-ownership heuristic for
+// channel parameters, and the branch shapes that must stay silent. These
+// checks run everywhere — a close panic is a panic in a CLI too — while
+// the unbuffered-send findings live in the server subpackage.
+package chanprotocol
+
+// DoubleClose closes the same channel twice on a straight line.
+func DoubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want "second close"
+}
+
+// SendAfterClose panics unconditionally at the send.
+func SendAfterClose() {
+	ch := make(chan int, 4)
+	close(ch)
+	ch <- 1 // want "send on channel ch after it is closed"
+}
+
+// BranchClose closes on each arm exactly once — clean: the arms are
+// exclusive paths.
+func BranchClose(b bool) {
+	ch := make(chan int)
+	if b {
+		close(ch)
+	} else {
+		close(ch)
+	}
+}
+
+// MergedClose closes on both arms and then again after the join: the
+// second close is reached on every path.
+func MergedClose(b bool) {
+	ch := make(chan int)
+	if b {
+		close(ch)
+	} else {
+		close(ch)
+	}
+	close(ch) // want "second close"
+}
+
+// Reborn reassigns the channel between closes — clean: the second close
+// targets a fresh channel value.
+func Reborn() {
+	ch := make(chan int)
+	close(ch)
+	ch = make(chan int)
+	close(ch)
+}
+
+// CloseParam closes a bidirectional channel it was handed: the ownership
+// heuristic — the owner closes, and ownership is declared in the type.
+func CloseParam(ch chan int) {
+	close(ch) // want "bidirectional channel parameter"
+}
+
+// CloseOwned declares ownership with a send-only parameter — clean: the
+// producer side closing its own channel is the convention.
+func CloseOwned(out chan<- int) {
+	for i := 0; i < 4; i++ {
+		out <- i
+	}
+	close(out)
+}
+
+// Shutdown's close is protocol-sanctioned and carries the reason.
+func Shutdown(ch chan int) {
+	//lint:ignore chanprotocol the hub transfers channel ownership to the drainer by protocol
+	close(ch)
+}

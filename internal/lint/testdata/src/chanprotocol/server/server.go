@@ -1,0 +1,59 @@
+// Package server is the chanprotocol fixture's serving surface: the
+// unbuffered-send-without-escape findings fire only on server-reachable
+// paths, where a parked handler goroutine leaks per request.
+package server
+
+import "context"
+
+// Hub fans events out on an unbuffered channel and acks on a buffered one.
+type Hub struct {
+	events chan string
+	acks   chan struct{}
+}
+
+// NewHub's make-sites decide each channel's bufferedness for the whole
+// package: events is unbuffered, acks has capacity.
+func NewHub() *Hub {
+	return &Hub{
+		events: make(chan string),
+		acks:   make(chan struct{}, 8),
+	}
+}
+
+// Notify sends bare on the unbuffered channel: no receiver, no escape —
+// the handler blocks forever.
+func (h *Hub) Notify(msg string) {
+	h.events <- msg // want "unbuffered channel"
+}
+
+// NotifyCtx escapes through the request context — clean.
+func (h *Hub) NotifyCtx(ctx context.Context, msg string) {
+	select {
+	case h.events <- msg:
+	case <-ctx.Done():
+	}
+}
+
+// TryNotify escapes through default — clean.
+func (h *Hub) TryNotify(msg string) bool {
+	select {
+	case h.events <- msg:
+		return true
+	default:
+		return false
+	}
+}
+
+// Ack sends on the buffered channel — clean up to capacity, and not an
+// unbuffered finding either way.
+func (h *Hub) Ack() {
+	h.acks <- struct{}{}
+}
+
+// Broadcast wraps the send in a select that cannot escape: a single comm
+// case without default or a done-channel is the bare send in disguise.
+func (h *Hub) Broadcast(msg string) {
+	select {
+	case h.events <- msg: // want "unbuffered channel"
+	}
+}

@@ -1,9 +1,10 @@
 // Package driver is the cmd/iltlint golden fixture: one violation per
-// rule, so a full thirteen-analyzer run exercises the JSON schema, the
+// rule, so a full seventeen-analyzer run exercises the JSON schema, the
 // deterministic ordering, and the fixable flag in one load. The serving
-// rules (ctxflow, timerleak's driver case) live in the server
-// subpackage; the compiler-fact rules (bce, escape, inline) read the
-// lint.hot manifest beside this file.
+// rules (ctxflow, timerleak's driver case, lockorder, chanprotocol,
+// wgmisuse, gorolife) live in the server subpackage; the compiler-fact
+// rules (bce, escape, inline) read the lint.hot manifest beside this
+// file.
 package driver
 
 import (

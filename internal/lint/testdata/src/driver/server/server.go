@@ -1,9 +1,12 @@
 // Package server carries the driver golden's serving-era violations: its
-// path segment makes everything here server-reachable for ctxflow.
+// path segment makes everything here server-reachable for ctxflow,
+// timerleak, and the four concurrency-protocol rules.
 package server
 
 import (
 	"context"
+	"os"
+	"sync"
 	"time"
 )
 
@@ -24,4 +27,48 @@ func Poll(fail bool) {
 		return
 	}
 	t.Stop()
+}
+
+// lockorder: the config mutex is held across the file write.
+type cfg struct {
+	mu   sync.Mutex
+	path string
+}
+
+func (c *cfg) save(data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_ = os.WriteFile(c.path, data, 0o644)
+}
+
+// chanprotocol: events is unbuffered (the make site votes) and the send
+// has no default or ctx.Done escape.
+type hub struct{ events chan int }
+
+func newHub() *hub { return &hub{events: make(chan int)} }
+
+func (h *hub) notify(v int) {
+	h.events <- v
+}
+
+// wgmisuse: Add runs on the spawned goroutine, racing the Wait.
+func fanout(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1)
+			defer wg.Done()
+			process(context.Background())
+		}()
+	}
+	wg.Wait()
+}
+
+// gorolife: the pump loops forever with no exit tied to anything.
+func pump(h *hub) {
+	go func() {
+		for {
+			h.notify(1)
+		}
+	}()
 }

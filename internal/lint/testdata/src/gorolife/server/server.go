@@ -1,0 +1,87 @@
+// Package server is the gorolife fixture's serving surface: spawn sites
+// whose goroutine can spin forever fire here, while the same shapes in
+// the unreached sibling package stay silent.
+package server
+
+import "context"
+
+func work() {}
+
+// Monitor spawns a bare forever-loop: nothing ever ends it.
+func Monitor() {
+	go func() { // want "may never exit"
+		for {
+			work()
+		}
+	}()
+}
+
+// MonitorCtx ties the loop's exit to the request context — clean.
+func MonitorCtx(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// Drain ranges the channel: the loop ends when the owner closes it —
+// clean.
+func Drain(ch chan int) {
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+}
+
+// QuitLoop exits on the quit-channel close — clean: the receive's comma-ok
+// loop has a return.
+func QuitLoop(quit chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// spin is an unbounded named target: its summary carries the fact to
+// every spawn site.
+func spin() {
+	for {
+		work()
+	}
+}
+
+// SpawnSpin launches it: the finding lands on the go statement, where the
+// fix (plumb a context or a quit channel into spin) belongs.
+func SpawnSpin() {
+	go spin() // want "may never exit"
+}
+
+// SpawnNested reaches spin through a wrapper: the Unbounded fact
+// propagates through the call graph.
+func runForever() {
+	spin()
+}
+
+func SpawnNested() {
+	go runForever() // want "may never exit"
+}
+
+// Pump is the process-lifetime stats pump; its unbounded spawn is by
+// design and the suppression records it.
+func Pump() {
+	//lint:ignore gorolife the stats pump runs for the whole process lifetime by design
+	go spin()
+}

@@ -1,0 +1,18 @@
+// Package unreached shows the scoping: the same unbounded spawn is silent
+// off the serving surface — a batch tool may detach a worker for its own
+// lifetime without leaking per-request goroutines.
+package unreached
+
+func work() {}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+// Spawn is the shape Monitor flags in the server package — no finding
+// here.
+func Spawn() {
+	go spin()
+}

@@ -1,0 +1,108 @@
+// Package lockorder seeds the lock-order fixture: two mutexes acquired in
+// opposing orders across two functions — the inversion cycle the analyzer
+// must stitch together from per-function summaries — plus a self-deadlock
+// through a helper and the clean shapes that must stay silent.
+package lockorder
+
+import "sync"
+
+// A and B each carry a field mutex; the lock graph keys them as
+// lockorder.(A).mu and lockorder.(B).mu.
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+var globalA A
+var globalB B
+
+// TakeAB acquires A then B: one direction of the seeded inversion. The
+// cycle is reported once, at this witness edge, with both positions.
+func TakeAB() {
+	globalA.mu.Lock()
+	defer globalA.mu.Unlock()
+	globalB.mu.Lock() // want "lock-order inversion"
+	defer globalB.mu.Unlock()
+	globalA.n++
+	globalB.n++
+}
+
+// TakeBA acquires B then A — the opposing direction that closes the cycle.
+func TakeBA() {
+	globalB.mu.Lock()
+	defer globalB.mu.Unlock()
+	globalA.mu.Lock()
+	defer globalA.mu.Unlock()
+	globalB.n++
+	globalA.n++
+}
+
+// lockA is a lock helper: it acquires globalA.mu and leaves it held for
+// the caller (HoldsOnExit in its summary).
+func lockA() {
+	globalA.mu.Lock()
+}
+
+// Reacquire calls the helper while already holding the same lock: a
+// guaranteed self-deadlock, found through the callee summary.
+func Reacquire() {
+	globalA.mu.Lock()
+	lockA() // want "while already held"
+	globalA.mu.Unlock()
+}
+
+// UseHelper takes the lock through the helper and releases it — the
+// hand-off shape stays clean.
+func UseHelper() {
+	lockA()
+	globalA.n++
+	globalA.mu.Unlock()
+}
+
+// C and D seed a second inversion whose report site carries a reasoned
+// suppression — the deliberate-exception path every rule must support.
+type C struct {
+	mu sync.Mutex
+}
+
+type D struct {
+	mu sync.Mutex
+}
+
+var globalC C
+var globalD D
+
+// TakeCD holds the suppressed witness edge of the C/D cycle.
+func TakeCD() {
+	globalC.mu.Lock()
+	defer globalC.mu.Unlock()
+	//lint:ignore lockorder the D pool is quiesced before C is ever taken here
+	globalD.mu.Lock()
+	defer globalD.mu.Unlock()
+}
+
+// TakeDC closes the suppressed cycle.
+func TakeDC() {
+	globalD.mu.Lock()
+	defer globalD.mu.Unlock()
+	globalC.mu.Lock()
+	defer globalC.mu.Unlock()
+}
+
+// WithBranch takes B under A in a branch — consistent with TakeAB's
+// order, so it adds no new cycle. (Its name deliberately sorts after
+// TakeAB: the first witness of the A->B edge, in sorted function order,
+// anchors the cycle report.)
+func WithBranch(flip bool) {
+	globalA.mu.Lock()
+	if flip {
+		globalB.mu.Lock()
+		globalB.mu.Unlock()
+	}
+	globalA.mu.Unlock()
+}

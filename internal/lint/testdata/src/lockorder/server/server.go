@@ -1,0 +1,81 @@
+// Package server is the lockorder fixture's serving surface: the
+// held-across-blocking findings fire only here, because a batch tool may
+// hold a lock across I/O without stalling anyone's request.
+package server
+
+import (
+	"os"
+	"sync"
+)
+
+// Registry guards a map with a mutex and publishes updates on a channel.
+type Registry struct {
+	mu    sync.Mutex
+	items map[string]int
+	ch    chan int
+}
+
+// Publish sends with the lock held: a missing receiver parks this
+// goroutine inside the critical section and every other method stalls.
+func (r *Registry) Publish(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.items["last"] = v
+	r.ch <- v // want "held across channel send"
+}
+
+// Snapshot moves the send outside the critical section — clean.
+func (r *Registry) Snapshot(v int) {
+	r.mu.Lock()
+	n := r.items["last"]
+	r.mu.Unlock()
+	r.ch <- n + v
+}
+
+// Persist does file I/O inside the critical section.
+func (r *Registry) Persist(path string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return os.WriteFile(path, []byte("snapshot"), 0o644) // want "held across os.WriteFile"
+}
+
+// Queue is the canonical condition-variable consumer: Wait parks holding
+// only the cond's own locker, which Wait atomically releases — clean.
+type Queue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items []int
+}
+
+// NewQueue couples the cond to its locker; the analyzer resolves the
+// association from this NewCond site.
+func NewQueue() *Queue {
+	q := &Queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Pop is the correct Wait loop — no finding.
+func (q *Queue) Pop() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 {
+		q.cond.Wait()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// PopHolding parks while also holding a foreign lock: Wait releases only
+// its own locker, so the registry stays locked for the whole sleep.
+func (q *Queue) PopHolding(r *Registry) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 {
+		q.cond.Wait() // want "held across sync.Cond.Wait"
+	}
+	return q.items[0]
+}

@@ -1,0 +1,150 @@
+// Package wgmisuse seeds the WaitGroup/lock-copy fixture: Add racing the
+// spawn (directly and through a callee), Add racing an async Wait, sync
+// state copied into callees that lock it, and the correct shapes that
+// must stay silent.
+package wgmisuse
+
+import "sync"
+
+func work() {}
+
+// AddInside runs Add on the spawned goroutine: the spawner's Wait can
+// observe zero before any Add lands.
+func AddInside(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want "Add inside the spawned goroutine"
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// AddBefore is the correct shape — clean.
+func AddBefore(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// runWorker Adds on the group it is handed — fine in itself (the caller
+// decides when it runs); its summary records AddsWGParam[0].
+func runWorker(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// SpawnWorker moves runWorker itself onto a goroutine: the Add inside it
+// now races the Wait, a fact only the callee summary exposes.
+func SpawnWorker() {
+	var wg sync.WaitGroup
+	go runWorker(&wg) // want "calls Add on it"
+	wg.Wait()
+}
+
+// CallWorker invokes the Add-ing callee synchronously — clean: Add is
+// ordered before Wait.
+func CallWorker() {
+	var wg sync.WaitGroup
+	runWorker(&wg)
+	wg.Wait()
+}
+
+// AddAfterAsyncWait hands Wait to a watcher goroutine and then keeps
+// Adding: the watcher may already have seen zero and moved on.
+func AddAfterAsyncWait(done chan struct{}) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Add(1) // want "already Waiting"
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// Counter carries a mutex by value in its struct.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bump locks its by-value parameter: its summary records SyncsParam[0].
+func bump(c Counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// bumpPtr is the correct signature.
+func bumpPtr(c *Counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// CopyLock passes the counter by value to a callee that locks it: the
+// callee synchronizes on a copy, protecting nothing.
+func CopyLock() {
+	var c Counter
+	bump(c) // want "passed by value"
+	bumpPtr(&c)
+}
+
+// Gauge's value-receiver method locks receiver state: every call locks a
+// fresh copy.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+func (g Gauge) Set(v float64) {
+	g.mu.Lock() // want "value receiver"
+	g.v = v
+	g.mu.Unlock()
+}
+
+// GaugePtr is the pointer-receiver twin — clean.
+type GaugePtr struct {
+	mu sync.Mutex
+	v  float64
+}
+
+func (g *GaugePtr) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// LateJoin's in-goroutine Add is deliberate and gated elsewhere; the
+// suppression records why.
+func LateJoin(gate chan struct{}) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		<-gate // the spawner parks on gate until this Add is visible
+		//lint:ignore wgmisuse the gate channel orders this Add before the spawner's Wait
+		wg.Add(1)
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}

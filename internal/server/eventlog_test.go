@@ -1,0 +1,104 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestEventLogConcurrentReplay races several producers appending into one
+// eventLog against followers running the SSE reader's exact
+// replay-then-follow loop (wait, consume, park on changed). Under -race it
+// pins the log's locking discipline; the asserts pin replay completeness
+// (every follower sees every line exactly once, in the same order) and
+// the one-shot markDone contract.
+func TestEventLogConcurrentReplay(t *testing.T) {
+	const producers = 4
+	const perProducer = 200
+	const readers = 3
+
+	var l eventLog
+	l.init()
+
+	var prod sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		prod.Add(1)
+		go func(p int) {
+			defer prod.Done()
+			for i := 0; i < perProducer; i++ {
+				l.Emit(telemetry.Event{
+					Name:   fmt.Sprintf("p%d", p),
+					Fields: telemetry.Fields{"i": i},
+				})
+			}
+		}(p)
+	}
+
+	got := make([][]string, readers)
+	var follow sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		follow.Add(1)
+		go func(r int) {
+			defer follow.Done()
+			from := 0
+			for {
+				lines, names, done, changed := l.wait(from)
+				if len(lines) != len(names) {
+					t.Errorf("reader %d: %d lines but %d names", r, len(lines), len(names))
+					return
+				}
+				for i := range lines {
+					if len(lines[i]) == 0 {
+						t.Errorf("reader %d: empty marshaled line at %d", r, from+i)
+					}
+					got[r] = append(got[r], names[i])
+				}
+				from += len(lines)
+				if done {
+					return
+				}
+				<-changed
+			}
+		}(r)
+	}
+
+	prod.Wait()
+	if !l.markDone() {
+		t.Error("first markDone returned false")
+	}
+	if l.markDone() {
+		t.Error("second markDone returned true; seal must be one-shot")
+	}
+	follow.Wait()
+
+	const total = producers * perProducer
+	if n := l.len(); n != total {
+		t.Fatalf("log holds %d lines, want %d", n, total)
+	}
+	for r := 0; r < readers; r++ {
+		if len(got[r]) != total {
+			t.Fatalf("reader %d replayed %d events, want %d", r, len(got[r]), total)
+		}
+	}
+	// Every follower observed the one true append order.
+	for r := 1; r < readers; r++ {
+		for i := range got[0] {
+			if got[r][i] != got[0][i] {
+				t.Fatalf("reader %d diverges from reader 0 at %d: %s vs %s",
+					r, i, got[r][i], got[0][i])
+			}
+		}
+	}
+	// And that order interleaves, rather than drops, every producer.
+	counts := map[string]int{}
+	for _, name := range got[0] {
+		counts[name]++
+	}
+	for p := 0; p < producers; p++ {
+		if c := counts[fmt.Sprintf("p%d", p)]; c != perProducer {
+			t.Errorf("producer p%d contributed %d events, want %d", p, c, perProducer)
+		}
+	}
+}

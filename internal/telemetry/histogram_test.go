@@ -3,6 +3,7 @@ package telemetry
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -234,6 +235,75 @@ func TestRecorderMerge(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("merged histograms missing litho.adjoint: %+v", hs)
+	}
+}
+
+// TestRecorderMergeConcurrent exercises Merge's documented contract under
+// -race: each src is quiescent (its job finished before the merge starts)
+// but the dst keeps absorbing other merges AND direct producer traffic the
+// whole time — the exact shape of the server-level recorder aggregating
+// finished jobs while live handlers observe into it. The final totals pin
+// that no update was lost in the interleaving.
+func TestRecorderMergeConcurrent(t *testing.T) {
+	const jobs = 8
+	const perJob = 100
+	const writers = 4
+
+	clk := newFakeClock()
+	srcs := make([]*Recorder, jobs)
+	for i := range srcs {
+		src := New(WithClock(clk.Now))
+		for k := 0; k < perJob; k++ {
+			src.Add("jobs.iters", 1)
+			src.Histogram("core.iter", HistDuration).ObserveDuration(time.Millisecond)
+		}
+		sp := src.StartSpan("litho.adjoint")
+		clk.Advance(time.Millisecond)
+		sp.End()
+		srcs[i] = src
+	}
+
+	dst := New(WithClock(newFakeClock().Now))
+	var wg sync.WaitGroup
+	for _, src := range srcs {
+		wg.Add(1)
+		go func(src *Recorder) {
+			defer wg.Done()
+			dst.Merge(src)
+		}(src)
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < perJob; k++ {
+				dst.Add("jobs.iters", 1)
+				dst.Histogram("core.iter", HistDuration).ObserveDuration(2 * time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+
+	wantCount := int64((jobs + writers) * perJob)
+	if c := dst.Counters()["jobs.iters"]; c != wantCount {
+		t.Errorf("jobs.iters = %d after concurrent merges, want %d", c, wantCount)
+	}
+	var iter HistStat
+	for _, h := range dst.Histograms() {
+		if h.Name == "core.iter" {
+			iter = h
+		}
+	}
+	if iter.Count != int64((jobs+writers)*perJob) {
+		t.Errorf("core.iter count = %d, want %d", iter.Count, (jobs+writers)*perJob)
+	}
+	wantSum := float64(jobs*perJob)*0.001 + float64(writers*perJob)*0.002
+	if math.Abs(iter.Sum-wantSum) > 1e-9 {
+		t.Errorf("core.iter sum = %v, want %v", iter.Sum, wantSum)
+	}
+	ph := dst.Phases()
+	if len(ph) != 1 || ph[0].Name != "litho.adjoint" || ph[0].Count != jobs {
+		t.Errorf("merged phases = %+v, want litho.adjoint x%d", ph, jobs)
 	}
 }
 
